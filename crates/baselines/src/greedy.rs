@@ -1,0 +1,96 @@
+//! Greedy bin-packing baselines — perfect balance, boundary-blind.
+//!
+//! The paper (Section 1, "Strict weight-balancedness") observes that its
+//! balance guarantee `(1 − 1/k)·‖w‖∞` matches what a greedy bin-packing
+//! algorithm achieves, "however, in contrast to our methods, such a greedy
+//! algorithm will in general create huge boundary costs". These baselines
+//! make that comparison concrete (experiment E7).
+
+use mmb_graph::{Coloring, VertexId};
+
+/// First-fit decreasing on vertex id order: each vertex goes to the
+/// currently lightest class. Satisfies eq. (1) (the pairwise class gap
+/// never exceeds `‖w‖∞`).
+pub fn first_fit(n: usize, k: usize, weights: &[f64]) -> Coloring {
+    assign_in_order(n, k, weights, (0..n as u32).collect())
+}
+
+/// Largest processing time (LPT): vertices in decreasing weight order,
+/// each to the lightest class. The classical makespan heuristic; also
+/// satisfies eq. (1).
+pub fn lpt(n: usize, k: usize, weights: &[f64]) -> Coloring {
+    let mut order: Vec<VertexId> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        weights[b as usize].partial_cmp(&weights[a as usize]).unwrap().then(a.cmp(&b))
+    });
+    assign_in_order(n, k, weights, order)
+}
+
+/// Round-robin: vertex `v` gets color `v mod k`. Balanced only for flat
+/// weights; maximally boundary-hostile on grids (every edge is cut for
+/// k ≥ 2 on a path). The "what not to do" baseline.
+pub fn round_robin(n: usize, k: usize) -> Coloring {
+    Coloring::from_fn(n, k, |v| v % k as u32)
+}
+
+fn assign_in_order(n: usize, k: usize, weights: &[f64], order: Vec<VertexId>) -> Coloring {
+    assert_eq!(weights.len(), n, "weight vector length mismatch");
+    assert!(k >= 1);
+    let mut out = Coloring::new_uncolored(n, k);
+    let mut load = vec![0.0f64; k];
+    for v in order {
+        let i = (0..k).min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap()).unwrap();
+        out.set(v, i as u32);
+        load[i] += weights[v as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmb_graph::gen::misc::path;
+
+    #[test]
+    fn lpt_and_first_fit_are_strict() {
+        let weights: Vec<f64> = (0..100).map(|v| 1.0 + ((v * 17) % 13) as f64).collect();
+        for k in [2usize, 3, 7, 32] {
+            assert!(lpt(100, k, &weights).is_strictly_balanced(&weights), "lpt k={k}");
+            assert!(
+                first_fit(100, k, &weights).is_strictly_balanced(&weights),
+                "first_fit k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_cuts_everything_on_a_path() {
+        let g = path(50);
+        let costs = vec![1.0; 49];
+        let chi = round_robin(50, 2);
+        // Every edge joins consecutive ids → different colors.
+        assert_eq!(chi.boundary_costs(&g, &costs).iter().sum::<f64>(), 2.0 * 49.0);
+    }
+
+    #[test]
+    fn greedy_ignores_boundaries() {
+        // On a path with flat weights, first-fit interleaves colors and
+        // cuts nearly every edge — the paper's point.
+        let g = path(100);
+        let costs = vec![1.0; 99];
+        let weights = vec![1.0; 100];
+        let chi = first_fit(100, 4, &weights);
+        let total_cut: f64 = chi.boundary_costs(&g, &costs).iter().sum::<f64>() / 2.0;
+        assert!(total_cut > 50.0, "greedy should cut most edges, cut {total_cut}");
+    }
+
+    #[test]
+    fn handles_k_one_and_k_ge_n() {
+        let weights = vec![1.0; 5];
+        let c1 = lpt(5, 1, &weights);
+        assert!(c1.is_strictly_balanced(&weights));
+        let c9 = lpt(5, 9, &weights);
+        assert!(c9.is_total());
+        assert!(c9.is_strictly_balanced(&weights));
+    }
+}

@@ -1,0 +1,30 @@
+//! # mmb-baselines
+//!
+//! Baseline partitioners the paper's introduction compares against:
+//!
+//! * [`greedy`] — bin-packing heuristics (first-fit, LPT, round-robin):
+//!   excellent weight balance (LPT even satisfies eq. (1)), but completely
+//!   boundary-blind — the paper's running example of why balance alone is
+//!   not enough.
+//! * [`recursive_bisection`] — Simon–Teng-style recursive bisection driven
+//!   by a [`Splitter`](mmb_splitters::Splitter): good *average* boundary
+//!   cost, loose (factor-style) balance, no per-part boundary guarantee. A
+//!   two-measure variant folds the cost-degree `τ` into the bisection
+//!   weights, approximating the Kiwi–Spielman–Teng recipe of balancing
+//!   weight and boundary simultaneously.
+//! * [`kl`] — Kernighan–Lin-style local refinement of the maximum boundary
+//!   under a balance envelope; the standard engineering post-pass.
+//! * [`multilevel`] — a METIS-lite multilevel partitioner: heavy-edge
+//!   matching coarsening, recursive bisection on the coarsest graph, and
+//!   KL refinement during uncoarsening.
+//!
+//! All baselines produce total [`Coloring`](mmb_graph::Coloring)s so the
+//! harness can score everything uniformly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod greedy;
+pub mod kl;
+pub mod multilevel;
+pub mod recursive_bisection;

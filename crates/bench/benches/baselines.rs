@@ -1,0 +1,46 @@
+//! E7 (timing side): the Theorem 4 pipeline vs baselines on the climate
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmb_baselines::greedy::lpt;
+use mmb_baselines::multilevel::{multilevel, MultilevelParams};
+use mmb_baselines::recursive_bisection::recursive_bisection;
+use mmb_core::pipeline::{decompose, PipelineConfig};
+use mmb_instances::climate::{climate, ClimateParams};
+use mmb_splitters::grid::GridSplitter;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let wl = climate(&ClimateParams { lon: 64, lat: 32, ..Default::default() });
+    let g = &wl.grid.graph;
+    let n = g.num_vertices();
+    let k = 16;
+    let sp = GridSplitter::new(&wl.grid, &wl.costs);
+
+    let mut group = c.benchmark_group("climate_64x32_k16");
+    group.sample_size(10);
+    group.bench_function("ours_theorem4", |b| {
+        b.iter(|| {
+            black_box(
+                decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
+                    .unwrap()
+                    .max_boundary(),
+            )
+        })
+    });
+    group.bench_function("greedy_lpt", |b| {
+        b.iter(|| black_box(lpt(n, k, &wl.weights)))
+    });
+    group.bench_function("recursive_bisection", |b| {
+        b.iter(|| black_box(recursive_bisection(g, &sp, &wl.weights, k)))
+    });
+    group.bench_function("multilevel", |b| {
+        b.iter(|| {
+            black_box(multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E6 (precise): Theorem 4 running time — near-linear in `|G|`,
+//! multiplicative in `log k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmb_core::pipeline::{decompose, PipelineConfig};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_instances::weights::WeightFamily;
+use mmb_splitters::grid::GridSplitter;
+use std::hint::black_box;
+
+fn bench_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose/by_n");
+    group.sample_size(10);
+    for side in [16usize, 32, 64] {
+        let grid = GridGraph::lattice(&[side, side]);
+        let n = grid.graph.num_vertices();
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let weights = WeightFamily::Uniform.generate(n, 3);
+        let sp = GridSplitter::new(&grid, &costs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let d = decompose(
+                    black_box(&grid.graph),
+                    &costs,
+                    &weights,
+                    16,
+                    &sp,
+                    &[],
+                    &PipelineConfig::default(),
+                )
+                .unwrap();
+                black_box(d.max_boundary())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose/by_k");
+    group.sample_size(10);
+    let grid = GridGraph::lattice(&[48, 48]);
+    let n = grid.graph.num_vertices();
+    let costs = vec![1.0; grid.graph.num_edges()];
+    let weights = WeightFamily::Uniform.generate(n, 5);
+    let sp = GridSplitter::new(&grid, &costs);
+    for k in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let d = decompose(
+                    black_box(&grid.graph),
+                    &costs,
+                    &weights,
+                    k,
+                    &sp,
+                    &[],
+                    &PipelineConfig::default(),
+                )
+                .unwrap();
+                black_box(d.max_boundary())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_n, bench_by_k);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Lemma 27 (precise): GridSplit runs in `O(m · log φ)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::VertexSet;
+use mmb_instances::costs::CostFamily;
+use mmb_splitters::grid::GridSplitter;
+use mmb_splitters::Splitter;
+use std::hint::black_box;
+
+fn bench_by_phi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gridsplit/by_phi");
+    let grid = GridGraph::lattice(&[96, 96]);
+    let n = grid.graph.num_vertices();
+    let w = VertexSet::full(n);
+    let weights = vec![1.0; n];
+    for phi in [1.0f64, 1e2, 1e4, 1e6] {
+        let costs = CostFamily::LogUniform.generate(&grid, phi, 9);
+        let sp = GridSplitter::new(&grid, &costs);
+        group.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, _| {
+            b.iter(|| black_box(sp.split(black_box(&w), &weights, n as f64 / 2.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gridsplit/by_m");
+    for side in [32usize, 64, 128] {
+        let grid = GridGraph::lattice(&[side, side]);
+        let n = grid.graph.num_vertices();
+        let m = grid.graph.num_edges();
+        let costs = CostFamily::LogUniform.generate(&grid, 1e3, 9);
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(n);
+        let weights = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(sp.split(black_box(&w), &weights, n as f64 / 2.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_phi, bench_by_m);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Splitter micro-benchmarks: the `t(|G[W]|)` primitive every theorem's
+//! running time is measured in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::tree::complete_binary_tree;
+use mmb_graph::VertexSet;
+use mmb_splitters::bfs::BfsSplitter;
+use mmb_splitters::grid::GridSplitter;
+use mmb_splitters::separator::{SeparatorSplitter, TreeCentroidSeparator};
+use mmb_splitters::tree::TreeSplitter;
+use mmb_splitters::Splitter;
+use std::hint::black_box;
+
+fn bench_splitters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitters");
+
+    let grid = GridGraph::lattice(&[64, 64]);
+    let ng = grid.graph.num_vertices();
+    let gcosts = vec![1.0; grid.graph.num_edges()];
+    let gw = VertexSet::full(ng);
+    let gweights = vec![1.0; ng];
+    let gsp = GridSplitter::new(&grid, &gcosts);
+    group.bench_function("grid_64x64", |b| {
+        b.iter(|| black_box(gsp.split(black_box(&gw), &gweights, ng as f64 / 2.0)))
+    });
+    let bsp = BfsSplitter::new(&grid.graph);
+    group.bench_function("bfs_64x64", |b| {
+        b.iter(|| black_box(bsp.split(black_box(&gw), &gweights, ng as f64 / 2.0)))
+    });
+
+    let tree = complete_binary_tree(14); // 16383 vertices
+    let nt = tree.num_vertices();
+    let tcosts = vec![1.0; tree.num_edges()];
+    let tw = VertexSet::full(nt);
+    let tweights = vec![1.0; nt];
+    let tsp = TreeSplitter::new(&tree);
+    group.bench_function("tree_cbt14", |b| {
+        b.iter(|| black_box(tsp.split(black_box(&tw), &tweights, nt as f64 / 2.0)))
+    });
+    let ssp = SeparatorSplitter::new(&tree, &tcosts, TreeCentroidSeparator::new(&tree), 2.0);
+    group.bench_function("split_reduction_cbt14", |b| {
+        b.iter(|| black_box(ssp.split(black_box(&tw), &tweights, nt as f64 / 2.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitters);
+criterion_main!(benches);

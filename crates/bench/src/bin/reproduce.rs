@@ -1,0 +1,31 @@
+//! Reproduce every experiment table (E1–E12; see `DESIGN.md` §5 for the
+//! per-theorem index, `EXPERIMENTS.md` for recorded results).
+//!
+//! ```text
+//! reproduce [--quick] [e1 e2 … | all]
+//! ```
+
+use mmb_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids
+    };
+    let mode = if quick { "quick" } else { "full" };
+    println!("# min-max boundary decomposition — experiment reproduction ({mode} mode)");
+    for id in ids {
+        match experiments::run(id, quick) {
+            Some(table) => table.print(),
+            None => eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL),
+        }
+    }
+}

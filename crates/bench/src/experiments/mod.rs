@@ -1,0 +1,48 @@
+//! The experiment suite E1–E12 (see `DESIGN.md` §5 for the index).
+//!
+//! Each experiment returns a [`Table`] whose rows are the series the
+//! corresponding theorem predicts; `quick` mode shrinks instance sizes for
+//! CI-speed smoke runs.
+
+mod comparisons;
+mod theorems;
+
+pub use comparisons::{e10, e11, e12, e4, e7, e8, e9, wall_costs};
+pub use theorems::{e1, e2, e3, e5, e6};
+
+use crate::table::Table;
+
+/// Run an experiment by id (`"e1"`…`"e12"`).
+pub fn run(id: &str, quick: bool) -> Option<Table> {
+    match id {
+        "e1" => Some(e1(quick)),
+        "e2" => Some(e2(quick)),
+        "e3" => Some(e3(quick)),
+        "e4" => Some(e4(quick)),
+        "e5" => Some(e5(quick)),
+        "e6" => Some(e6(quick)),
+        "e7" => Some(e7(quick)),
+        "e8" => Some(e8(quick)),
+        "e9" => Some(e9(quick)),
+        "e10" => Some(e10(quick)),
+        "e11" => Some(e11(quick)),
+        "e12" => Some(e12(quick)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_known_ids() {
+        assert!(run("e2", true).is_some());
+        assert!(run("nope", true).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal aligned-table printer for experiment reports.
+
+/// A titled table with aligned columns.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text footnotes.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render to a string (markdown-ish, aligned).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{c:<w$} | ", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.columns, &widths));
+        out.push_str(&format!(
+            "|{}|\n",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(vec!["x".into(), "y".into()]);
+        t.row(vec!["long".into(), "z".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("== T =="));
+        assert!(r.contains("| long | z    |"));
+        assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,71 @@
+//! # mmb-core
+//!
+//! Min-max boundary decomposition of weighted graphs — a faithful
+//! implementation of
+//!
+//! > David Steurer, *Tight Bounds on the Min-Max Boundary Decomposition
+//! > Cost of Weighted Graphs*, SPAA 2006 (arXiv `cs/0606001`).
+//!
+//! Given a graph `G` with edge costs `c` and vertex weights `w`, the library
+//! computes **strictly balanced** `k`-colorings — every class weight within
+//! `(1 − 1/k)·‖w‖_∞` of the average (Definition 1) — whose **maximum
+//! boundary cost** is `O_p(σ_p·(k^{−1/p}·‖c‖_p + Δ_c))` (Theorem 4), where
+//! `σ_p` is the instance's splittability and `Δ_c` its maximum cost-weighted
+//! degree.
+//!
+//! ## Pipeline
+//!
+//! The top-level entry point [`pipeline::decompose`] composes the paper's
+//! three stages:
+//!
+//! 1. **Multi-balanced coloring** ([`multibalance`]): Lemma 6 builds a
+//!    coloring balanced with respect to the splitting-cost measure `π`
+//!    (Definition 10, [`pi`]) and the vertex weights by repeatedly invoking
+//!    the rebalancing algorithm of Lemma 9 ([`rebalance`]); Proposition 7
+//!    then additionally balances the boundary-cost measure, using the
+//!    dynamic measure `Φ^{(r+1)}` to keep monochromatic boundary costs
+//!    decaying along the move-forest.
+//! 2. **Shrink-and-conquer** ([`shrink`]): Proposition 11 turns the weakly
+//!    balanced coloring into an *almost strictly* balanced one (every class
+//!    within `2‖w‖_∞` of the average) by repeatedly shrinking off an almost
+//!    strict layer (Section 5) and re-packing it with the conquer bin
+//!    packing of Lemma 15 ([`conquer`]).
+//! 3. **Strict packing** ([`strict`]): Proposition 12's `BinPack2` converts
+//!    almost strict into strictly balanced, exactly satisfying eq. (1).
+//!
+//! Every stage is driven by an abstract
+//! [`Splitter`](mmb_splitters::Splitter), so any graph family with a
+//! splitting-set theorem (grids via GridSplit, forests, paths, or anything
+//! with a balanced-separator provider) plugs in directly.
+//!
+//! ## Guarantees, exactly and empirically
+//!
+//! Strict balance is *enforced by construction* and checked by
+//! [`verify::verify_decomposition`]. The boundary-cost guarantee is
+//! asymptotic; [`bounds`] computes the theorems' right-hand sides so tests
+//! and benchmarks can report measured/bound ratios (experiments E1–E12 in
+//! `DESIGN.md`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod conquer;
+pub mod multibalance;
+pub mod pi;
+pub mod pipeline;
+pub mod rebalance;
+pub mod shrink;
+pub mod strict;
+pub mod two_color;
+pub mod verify;
+
+pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};
+
+/// Commonly used items for downstream crates.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use crate::pi::splitting_cost_measure;
+    pub use crate::pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};
+    pub use crate::verify::{verify_decomposition, DecompositionReport};
+}

@@ -1,0 +1,307 @@
+//! The Theorem 4 pipeline: `decompose` = Proposition 7 → Proposition 11 →
+//! Proposition 12.
+//!
+//! ```text
+//! χ₁ = multibalance_minmax(w, π, extra measures)   // weakly balanced,
+//!                                                  // bounded max boundary
+//! χ₂ = almost_strict(χ₁)                           // within 2‖w‖∞ of avg
+//! χ₃ = binpack2(χ₂)                                // eq. (1) exactly
+//! ```
+//!
+//! The result is a strictly balanced `k`-coloring with maximum boundary
+//! cost `O_p(σ_p·(k^{−1/p}·‖c‖_p + Δ_c))`; the conclusion's multi-balanced
+//! variant (weak balance in arbitrary extra measures, strict balance in
+//! `w`) falls out of the same call by passing `extra_measures`.
+
+use mmb_graph::measure::{norm_inf, set_sum};
+use mmb_graph::{Coloring, Graph, VertexSet};
+use mmb_splitters::Splitter;
+
+use crate::multibalance::multibalance_minmax;
+use crate::shrink::{almost_strict, ShrinkParams};
+use crate::strict::binpack2;
+
+/// Configuration of the decomposition pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Norm exponent `p > 1` of the splittability assumption (use
+    /// `d/(d−1)` for `d`-dimensional grids, `2` for planar-ish inputs).
+    pub p: f64,
+    /// Shrink-and-conquer tunables.
+    pub shrink: ShrinkParams,
+    /// Skip the shrink stage and go straight from Proposition 7 to
+    /// BinPack2 (ablation switch for experiment E8).
+    pub skip_shrink: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { p: 2.0, shrink: ShrinkParams::default(), skip_shrink: false }
+    }
+}
+
+impl PipelineConfig {
+    /// Config with a given `p`.
+    pub fn with_p(p: f64) -> Self {
+        Self { p, ..Self::default() }
+    }
+}
+
+/// Errors reported for malformed inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// `k` must be at least 1.
+    ZeroColors,
+    /// Weight vector length must equal the vertex count.
+    WeightLength {
+        /// provided length
+        got: usize,
+        /// expected length (n)
+        expected: usize,
+    },
+    /// Cost vector length must equal the edge count.
+    CostLength {
+        /// provided length
+        got: usize,
+        /// expected length (m)
+        expected: usize,
+    },
+    /// Weights and costs must be finite and non-negative.
+    NotFinite,
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::ZeroColors => write!(f, "k must be at least 1"),
+            DecomposeError::WeightLength { got, expected } => {
+                write!(f, "weight vector has length {got}, expected {expected}")
+            }
+            DecomposeError::CostLength { got, expected } => {
+                write!(f, "cost vector has length {got}, expected {expected}")
+            }
+            DecomposeError::NotFinite => {
+                write!(f, "weights and costs must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// Result of [`decompose`].
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// The strictly balanced `k`-coloring.
+    pub coloring: Coloring,
+    /// Per-class boundary costs `∂χ⁻¹`.
+    pub boundary_costs: Vec<f64>,
+    /// Per-class weights `wχ⁻¹`.
+    pub class_weights: Vec<f64>,
+    /// Strict-balance defect (≤ 0 up to fp noise).
+    pub strict_defect: f64,
+    /// The intermediate colorings, for ablation experiments:
+    /// (Proposition 7 output, Proposition 11 output).
+    pub stages: (Coloring, Coloring),
+}
+
+impl Decomposition {
+    /// Maximum boundary cost `‖∂χ⁻¹‖∞`.
+    pub fn max_boundary(&self) -> f64 {
+        norm_inf(&self.boundary_costs)
+    }
+
+    /// Average boundary cost `‖∂χ⁻¹‖_avg`.
+    pub fn avg_boundary(&self) -> f64 {
+        self.boundary_costs.iter().sum::<f64>() / self.boundary_costs.len() as f64
+    }
+}
+
+/// Compute a strictly balanced `k`-coloring of `(g, costs, weights)` with
+/// small maximum boundary cost (Theorem 4), using `splitter` for all
+/// splitting sets.
+///
+/// `extra_measures` are additionally weakly balanced (the conclusion's
+/// multi-balanced variant); pass `&[]` for the plain problem.
+pub fn decompose<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    weights: &[f64],
+    k: usize,
+    splitter: &S,
+    extra_measures: &[&[f64]],
+    cfg: &PipelineConfig,
+) -> Result<Decomposition, DecomposeError> {
+    if k == 0 {
+        return Err(DecomposeError::ZeroColors);
+    }
+    if weights.len() != g.num_vertices() {
+        return Err(DecomposeError::WeightLength { got: weights.len(), expected: g.num_vertices() });
+    }
+    if costs.len() != g.num_edges() {
+        return Err(DecomposeError::CostLength { got: costs.len(), expected: g.num_edges() });
+    }
+    if weights.iter().chain(costs).any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(DecomposeError::NotFinite);
+    }
+
+    let domain = VertexSet::full(g.num_vertices());
+
+    // Stage 1 (Proposition 7): weakly balanced in w, π and extras, with
+    // bounded maximum boundary and splitting costs.
+    let user: Vec<&[f64]> = std::iter::once(weights)
+        .chain(extra_measures.iter().copied())
+        .collect();
+    let stage1 = multibalance_minmax(g, costs, splitter, k, &domain, &user, cfg.p);
+
+    // Stage 2 (Proposition 11): almost strictly balanced.
+    let stage2 = if cfg.skip_shrink {
+        stage1.coloring.clone()
+    } else {
+        almost_strict(
+            g, costs, splitter, &stage1.coloring, &domain, weights, cfg.p, &cfg.shrink,
+        )
+    };
+
+    // Stage 3 (Proposition 12): strictly balanced, eq. (1) exactly.
+    let stage3 = binpack2(g, splitter, &stage2, &domain, weights);
+
+    debug_assert!(stage3.is_total(), "pipeline must color every vertex");
+    let boundary_costs = stage3.boundary_costs(g, costs);
+    let class_weights = stage3.class_measures(weights);
+    let strict_defect = stage3.strict_balance_defect(weights);
+    let _ = set_sum(weights, &domain);
+    Ok(Decomposition {
+        coloring: stage3,
+        boundary_costs,
+        class_weights,
+        strict_defect,
+        stages: (stage1.coloring, stage2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmb_graph::gen::grid::GridGraph;
+    use mmb_splitters::grid::GridSplitter;
+
+    #[test]
+    fn end_to_end_on_grid() {
+        let grid = GridGraph::lattice(&[16, 16]);
+        let n = grid.graph.num_vertices();
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let weights: Vec<f64> = (0..n).map(|v| 1.0 + ((v * 31) % 5) as f64).collect();
+        for k in [2usize, 3, 8] {
+            let d = decompose(
+                &grid.graph, &costs, &weights, k, &sp, &[], &PipelineConfig::with_p(2.0),
+            )
+            .unwrap();
+            assert!(d.coloring.is_total());
+            assert!(
+                d.coloring.is_strictly_balanced(&weights),
+                "k={k}: defect {}",
+                d.strict_defect
+            );
+            assert!(d.max_boundary() > 0.0);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let grid = GridGraph::lattice(&[3, 3]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let cfg = PipelineConfig::default();
+        let w9 = vec![1.0; 9];
+        assert_eq!(
+            decompose(&grid.graph, &costs, &w9, 0, &sp, &[], &cfg).unwrap_err(),
+            DecomposeError::ZeroColors
+        );
+        let w_bad = vec![1.0; 5];
+        assert!(matches!(
+            decompose(&grid.graph, &costs, &w_bad, 2, &sp, &[], &cfg).unwrap_err(),
+            DecomposeError::WeightLength { .. }
+        ));
+        let c_bad = vec![1.0; 3];
+        assert!(matches!(
+            decompose(&grid.graph, &c_bad, &w9, 2, &sp, &[], &cfg).unwrap_err(),
+            DecomposeError::CostLength { .. }
+        ));
+        let w_nan = {
+            let mut w = w9.clone();
+            w[0] = f64::NAN;
+            w
+        };
+        assert_eq!(
+            decompose(&grid.graph, &costs, &w_nan, 2, &sp, &[], &cfg).unwrap_err(),
+            DecomposeError::NotFinite
+        );
+        let w_neg = {
+            let mut w = w9.clone();
+            w[0] = -1.0;
+            w
+        };
+        assert_eq!(
+            decompose(&grid.graph, &costs, &w_neg, 2, &sp, &[], &cfg).unwrap_err(),
+            DecomposeError::NotFinite
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let grid = GridGraph::lattice(&[3, 3]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let weights = vec![1.0; 9];
+        let d = decompose(
+            &grid.graph, &costs, &weights, 20, &sp, &[], &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(d.coloring.is_total());
+        assert!(d.coloring.is_strictly_balanced(&weights));
+    }
+
+    #[test]
+    fn extra_measures_get_weakly_balanced() {
+        let grid = GridGraph::lattice(&[16, 16]);
+        let n = grid.graph.num_vertices();
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let weights = vec![1.0; n];
+        // A second resource concentrated on a corner block.
+        let mem: Vec<f64> = (0..n as u32)
+            .map(|v| {
+                let c = grid.coord(v);
+                if c[0] < 4 && c[1] < 4 { 8.0 } else { 0.25 }
+            })
+            .collect();
+        let k = 8;
+        let d = decompose(
+            &grid.graph, &costs, &weights, k, &sp, &[&mem], &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(d.coloring.is_strictly_balanced(&weights));
+        let mem_classes = d.coloring.class_measures(&mem);
+        let mem_avg: f64 = mem.iter().sum::<f64>() / k as f64;
+        let mem_max_class = norm_inf(&mem_classes);
+        // Weak balance: O(avg + max) with moderate constants.
+        assert!(
+            mem_max_class <= 12.0 * mem_avg + 64.0 * norm_inf(&mem),
+            "extra measure unbalanced: {mem_max_class} vs avg {mem_avg}"
+        );
+    }
+
+    #[test]
+    fn skip_shrink_ablation_still_strict() {
+        let grid = GridGraph::lattice(&[12, 12]);
+        let n = grid.graph.num_vertices();
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
+        let cfg = PipelineConfig { skip_shrink: true, ..PipelineConfig::default() };
+        let d = decompose(&grid.graph, &costs, &weights, 6, &sp, &[], &cfg).unwrap();
+        assert!(d.coloring.is_strictly_balanced(&weights));
+    }
+}

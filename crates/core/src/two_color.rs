@@ -1,0 +1,155 @@
+//! Multi-measure 2-colorings (Lemma 8).
+//!
+//! Given measures `Φ^{(1)}, …, Φ^{(r)}`, any vertex set `W` can be 2-colored
+//! so that the edges between the classes cost at most
+//! `(2^r − 1)·σ_p·‖c|_W‖_p` and, for every `j`, each class has
+//! `Φ^{(j)}`-measure at most `¾·(Φ^{(j)}(W) + 2^{r−j}·‖Φ^{(j)}‖_∞)` — with
+//! the stronger factor `½` for `j = 1`.
+//!
+//! The construction is a recursion on `r`: bisect `W` by `Φ^{(r)}` with one
+//! splitting set, recursively 2-color both halves with the remaining
+//! measures, and relabel each half's classes so that class `b` is the
+//! `Φ^{(r)}`-lighter one inside half `b` (inequality (5) in the paper)
+//! before taking the direct sum.
+
+use mmb_graph::measure::set_sum;
+use mmb_graph::VertexSet;
+use mmb_splitters::Splitter;
+
+/// A 2-coloring of a vertex set as the pair of its classes.
+#[derive(Clone, Debug)]
+pub struct TwoColoring {
+    /// Class 1 (the paper's color `1`).
+    pub class1: VertexSet,
+    /// Class 2.
+    pub class2: VertexSet,
+}
+
+impl TwoColoring {
+    /// Measures of both classes under `phi`.
+    pub fn class_measures(&self, phi: &[f64]) -> (f64, f64) {
+        (set_sum(phi, &self.class1), set_sum(phi, &self.class2))
+    }
+
+    /// Swap the two class labels.
+    pub fn swapped(self) -> Self {
+        TwoColoring { class1: self.class2, class2: self.class1 }
+    }
+}
+
+/// Lemma 8: 2-color `w_set` balancing all `measures` simultaneously.
+///
+/// `measures` must be non-empty; `measures[0]` receives the strongest
+/// (½-factor) guarantee. Splitting sets are provided by `splitter`.
+pub fn two_color<S: Splitter + ?Sized>(
+    splitter: &S,
+    w_set: &VertexSet,
+    measures: &[&[f64]],
+) -> TwoColoring {
+    assert!(!measures.is_empty(), "need at least one measure");
+    let r = measures.len();
+    let phi_r = measures[r - 1];
+
+    // Bisect by the last measure (inequality (2)).
+    let target = set_sum(phi_r, w_set) / 2.0;
+    let u1 = splitter.split(w_set, phi_r, target);
+    let u2 = w_set.difference(&u1);
+
+    if r == 1 {
+        return TwoColoring { class1: u1, class2: u2 };
+    }
+
+    // Recurse with the remaining measures, then enforce inequality (5):
+    // within half b, class b must be the Φ^{(r)}-lighter class.
+    let rest = &measures[..r - 1];
+    let mut chi1 = two_color(splitter, &u1, rest);
+    let mut chi2 = two_color(splitter, &u2, rest);
+    let (a1, b1) = chi1.class_measures(phi_r);
+    if a1 > b1 {
+        chi1 = chi1.swapped();
+    }
+    let (a2, b2) = chi2.class_measures(phi_r);
+    if b2 > a2 {
+        chi2 = chi2.swapped();
+    }
+    TwoColoring {
+        class1: chi1.class1.union(&chi2.class1),
+        class2: chi1.class2.union(&chi2.class2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmb_graph::gen::grid::GridGraph;
+    use mmb_graph::measure::{set_max, norm_1};
+    use mmb_splitters::grid::GridSplitter;
+
+    /// Check the Lemma 8 class-measure guarantee for measure j (1-based).
+    fn lemma8_bound(w_total: f64, phi_max: f64, r: usize, j: usize) -> f64 {
+        let factor = if j == 1 { 0.5 } else { 0.75 };
+        factor * (w_total + 2f64.powi((r - j) as i32) * phi_max)
+    }
+
+    #[test]
+    fn partitions_w() {
+        let grid = GridGraph::lattice(&[8, 8]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(64);
+        let m1: Vec<f64> = vec![1.0; 64];
+        let chi = two_color(&sp, &w, &[&m1]);
+        assert!(chi.class1.is_disjoint(&chi.class2));
+        assert_eq!(chi.class1.union(&chi.class2), w);
+    }
+
+    #[test]
+    fn balances_three_measures() {
+        let grid = GridGraph::lattice(&[10, 10]);
+        let n = 100;
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(n);
+        let m1: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
+        let m2: Vec<f64> = (0..n).map(|v| ((v * 7) % 5) as f64).collect();
+        let m3: Vec<f64> = (0..n).map(|v| if v % 10 == 0 { 5.0 } else { 0.5 }).collect();
+        let measures: Vec<&[f64]> = vec![&m1, &m2, &m3];
+        let chi = two_color(&sp, &w, &measures);
+        let r = 3;
+        for (j, m) in measures.iter().enumerate() {
+            let total = norm_1(m);
+            let mmax = set_max(m, &w);
+            let bound = lemma8_bound(total, mmax, r, j + 1);
+            let (c1, c2) = chi.class_measures(m);
+            assert!(c1 <= bound + 1e-9, "measure {} class1 {} > bound {}", j + 1, c1, bound);
+            assert!(c2 <= bound + 1e-9, "measure {} class2 {} > bound {}", j + 1, c2, bound);
+        }
+    }
+
+    #[test]
+    fn first_measure_gets_half_factor() {
+        // With a single measure, both classes are within ‖Φ‖∞/2 of half.
+        let grid = GridGraph::lattice(&[6, 6]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(36);
+        let m: Vec<f64> = (0..36).map(|v| 1.0 + (v % 2) as f64).collect();
+        let chi = two_color(&sp, &w, &[&m]);
+        let total = norm_1(&m);
+        let (c1, c2) = chi.class_measures(&m);
+        assert!((c1 - total / 2.0).abs() <= set_max(&m, &w) / 2.0 + 1e-9);
+        assert!((c2 - total / 2.0).abs() <= set_max(&m, &w) / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_set() {
+        let grid = GridGraph::lattice(&[2, 2]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::empty(4);
+        let m = vec![1.0; 4];
+        let chi = two_color(&sp, &w, &[&m]);
+        assert!(chi.class1.is_empty());
+        assert!(chi.class2.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Small named generators used throughout tests and experiments.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Path `P_n` (`n ≥ 1` vertices, `n − 1` edges).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n.saturating_sub(1) {
+        b.add_edge(v as u32, (v + 1) as u32);
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (`n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as u32, ((v + 1) % n) as u32);
+    }
+    b.build()
+}
+
+/// Star `K_{1,leaves}`: vertex 0 joined to `leaves` leaves. Unbounded degree
+/// — deliberately *not* well-behaved; used in negative tests.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for l in 1..=leaves {
+        b.add_edge(0, l as u32);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` (small `n` only; used in exhaustive lower-bound
+/// tests).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Ladder graph: two parallel paths of length `n` joined by rungs
+/// (`2n` vertices, `3n − 2` edges, maximum degree 3).
+pub fn ladder(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(2 * n);
+    for v in 0..n {
+        b.add_edge(v as u32, (n + v) as u32);
+        if v + 1 < n {
+            b.add_edge(v as u32, (v + 1) as u32);
+            b.add_edge((n + v) as u32, (n + v + 1) as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(5).max_degree(), 2);
+        assert_eq!(star(7).max_degree(), 7);
+        assert_eq!(complete(5).num_edges(), 10);
+        let l = ladder(4);
+        assert_eq!(l.num_vertices(), 8);
+        assert_eq!(l.num_edges(), 10);
+        assert_eq!(l.max_degree(), 3);
+        assert!(l.is_connected());
+    }
+}

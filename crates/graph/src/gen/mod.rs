@@ -1,0 +1,16 @@
+//! Instance generators.
+//!
+//! * [`grid`] — `d`-dimensional grid graphs with integer coordinates, the
+//!   graph family of the paper's Section 6, plus subset/percolation
+//!   variants.
+//! * [`tree`] — bounded-degree trees (complete binary trees, random
+//!   attachment trees, caterpillars).
+//! * [`misc`] — paths, cycles, stars, cliques, ladders; small named graphs
+//!   for tests.
+//!
+//! All randomized generators take an explicit `u64` seed and are
+//! deterministic given the seed.
+
+pub mod grid;
+pub mod misc;
+pub mod tree;

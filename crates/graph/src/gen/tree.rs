@@ -1,0 +1,122 @@
+//! Bounded-degree tree generators.
+//!
+//! Trees are the classic family where *vertex* separators are single
+//! vertices (centroids) but balanced *edge* cuts can require `Θ(log n)`
+//! edges (complete binary trees) — a useful contrast family for the
+//! splittability experiments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Complete binary tree with `levels ≥ 1` levels (`2^levels − 1` vertices).
+/// Vertex 0 is the root; children of `v` are `2v+1`, `2v+2`.
+pub fn complete_binary_tree(levels: u32) -> Graph {
+    assert!(levels >= 1, "need at least one level");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                b.add_edge(v as u32, c as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random attachment tree with maximum degree `max_degree ≥ 2`: vertex `i`
+/// attaches to a uniformly random earlier vertex that still has spare
+/// degree. Deterministic given `seed`.
+pub fn random_tree(n: usize, max_degree: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one vertex");
+    assert!(max_degree >= 2, "max degree must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut deg = vec![0usize; n];
+    // Candidates with spare capacity; swap-remove keeps it O(1) amortized.
+    let mut open: Vec<u32> = vec![0];
+    for v in 1..n as u32 {
+        let idx = rng.random_range(0..open.len());
+        let parent = open[idx];
+        b.add_edge(parent, v);
+        deg[parent as usize] += 1;
+        deg[v as usize] += 1;
+        if deg[parent as usize] >= max_degree {
+            open.swap_remove(idx);
+        }
+        if deg[v as usize] < max_degree {
+            open.push(v);
+        }
+        assert!(!open.is_empty() || v as usize == n - 1, "ran out of attachment points");
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each spine vertex carrying
+/// `legs` pendant leaves. Total `spine·(1+legs)` vertices; maximum degree
+/// `legs + 2`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 0..spine {
+        if s + 1 < spine {
+            b.add_edge(s as u32, (s + 1) as u32);
+        }
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            b.add_edge(s as u32, leaf as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbt_shape() {
+        let g = complete_binary_tree(4);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degree(0), 2); // root
+    }
+
+    #[test]
+    fn cbt_single_level() {
+        let g = complete_binary_tree(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn random_tree_is_tree_with_degree_cap() {
+        for seed in 0..5 {
+            let g = random_tree(200, 4, seed);
+            assert_eq!(g.num_edges(), 199);
+            assert!(g.is_connected());
+            assert!(g.max_degree() <= 4);
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic() {
+        let a = random_tree(50, 3, 9);
+        let b = random_tree(50, 3, 9);
+        assert_eq!(a.edge_list(), b.edge_list());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 19);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 5); // interior spine: 2 spine + 3 legs
+    }
+}

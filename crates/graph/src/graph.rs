@@ -1,0 +1,314 @@
+//! Immutable CSR graph representation.
+//!
+//! All graphs in this library are finite, undirected, without self-loops or
+//! parallel edges (the paper's standing assumption, Section 1 "Notation").
+//! Vertices are dense `u32` ids `0..n`; edges are dense `u32` ids `0..m`
+//! with canonical endpoints `u < v`.
+
+use std::fmt;
+
+/// Dense vertex identifier (`0..n`).
+pub type VertexId = u32;
+/// Dense edge identifier (`0..m`).
+pub type EdgeId = u32;
+
+/// An immutable undirected graph in CSR form.
+///
+/// The size of the graph in the paper's sense is `|G| = |V| + |E|`
+/// ([`Graph::size`]); the running-time statements of Theorem 4 are linear
+/// functions of this size.
+#[derive(Clone)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets into `adj`, length `n + 1`.
+    adj_off: Vec<u32>,
+    /// Flattened adjacency: `(neighbor, edge id)` pairs, length `2m`.
+    adj: Vec<(VertexId, EdgeId)>,
+    /// Edge endpoint list with `u < v`, length `m`.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The paper's size measure `|G| = |V| + |E|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n + self.edges.len()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n as u32).map(|v| v as VertexId)
+    }
+
+    /// Endpoints `(u, v)` of edge `e`, with `u < v`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e as usize]
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`, indexed by edge id.
+    #[inline]
+    pub fn edge_list(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Adjacency of vertex `v`: `(neighbor, edge id)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        let lo = self.adj_off[v as usize] as usize;
+        let hi = self.adj_off[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.adj_off[v as usize + 1] - self.adj_off[v as usize]) as usize
+    }
+
+    /// Maximum degree `Δ(G)`.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v as u32)).max().unwrap_or(0)
+    }
+
+    /// The other endpoint of edge `e` as seen from `v`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (a, b) = self.endpoints(e);
+        debug_assert!(v == a || v == b, "vertex {v} is not an endpoint of edge {e}");
+        if v == a {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Whether an edge joins `u` and `v` (linear scan of the shorter
+    /// adjacency; intended for tests and small graphs).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).iter().any(|&(nb, _)| nb == b)
+    }
+
+    /// Connected components; returns a component id per vertex and the
+    /// number of components.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n];
+        let mut stack = Vec::new();
+        let mut next = 0u32;
+        for s in 0..self.n as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = next;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &(nb, _) in self.neighbors(v) {
+                    if comp[nb as usize] == u32::MAX {
+                        comp[nb as usize] = next;
+                        stack.push(nb);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.n == 0 || self.components().1 == 1
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Rejects self-loops and silently deduplicates parallel edges (keeping the
+/// first occurrence), matching the paper's graph model.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 id space");
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices configured so far.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Ensure at least `n` vertices exist.
+    pub fn grow_to(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Add an undirected edge `{u, v}`. Returns the edge's eventual position
+    /// in insertion order **before deduplication**; callers that need stable
+    /// edge ids should use [`GraphBuilder::build`]'s deduplicated order.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert_ne!(u, v, "self-loop {u}-{v} rejected");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge {u}-{v} out of range (n = {})",
+            self.n
+        );
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+    }
+
+    /// Finalize into an immutable CSR [`Graph`].
+    ///
+    /// Edge ids are assigned in sorted `(u, v)` order after deduplication,
+    /// so two builds from the same edge multiset yield identical graphs.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let m = self.edges.len();
+        let mut deg = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let adj_off = deg;
+        let mut cursor = adj_off.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * m];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            let e = e as u32;
+            adj[cursor[u as usize] as usize] = (v, e);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = (u, e);
+            cursor[v as usize] += 1;
+        }
+        Graph { n, adj_off, adj, edges: self.edges }
+    }
+}
+
+/// Convenience constructor from an edge list (used pervasively in tests).
+pub fn graph_from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.size(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.components().1, 5);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn triangle_basbasics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.size(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dedup_parallel_edges() {
+        let g = graph_from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.endpoints(0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn edge_ids_are_canonical() {
+        // Identical edge multisets in different orders build identical graphs.
+        let g1 = graph_from_edges(4, &[(2, 3), (0, 1), (1, 2)]);
+        let g2 = graph_from_edges(4, &[(1, 2), (2, 3), (0, 1)]);
+        assert_eq!(g1.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn other_endpoint_works() {
+        let g = graph_from_edges(3, &[(0, 2)]);
+        assert_eq!(g.other_endpoint(0, 0), 2);
+        assert_eq!(g.other_endpoint(0, 2), 0);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let (comp, count) = g.components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+}

@@ -1,0 +1,311 @@
+//! METIS-format graph I/O.
+//!
+//! The METIS `.graph` format is the de-facto exchange format for graph
+//! partitioning benchmarks (Chaco/METIS/KaHIP all read it), so a
+//! partitioning library needs it to be usable on existing instances.
+//!
+//! Format (1-indexed):
+//!
+//! ```text
+//! % comment lines start with '%'
+//! <n> <m> [fmt [ncon]]      fmt: 3 digits — ignored/vertex-sizes,
+//!                            vertex-weights, edge-weights (e.g. "011")
+//! <per-vertex line: [weights…] (neighbor [edge-weight])*>
+//! ```
+//!
+//! Each undirected edge appears in both endpoint lines; we validate the
+//! symmetry and collapse it. Partitions are written/read as one class id
+//! per line (the `.part.k` convention).
+
+use std::fmt::Write as _;
+
+use crate::coloring::Coloring;
+use crate::graph::{Graph, GraphBuilder};
+
+/// A parsed METIS instance.
+#[derive(Clone, Debug)]
+pub struct MetisGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// Vertex weights (first constraint only; defaults to 1.0).
+    pub weights: Vec<f64>,
+    /// Edge costs (defaults to 1.0).
+    pub costs: Vec<f64>,
+}
+
+/// Errors from METIS parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetisError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A data line failed to parse.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Problem description.
+        what: String,
+    },
+    /// The declared edge count does not match the body.
+    EdgeCountMismatch {
+        /// Edge count declared in the header.
+        declared: usize,
+        /// Edge count found in the body.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for MetisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetisError::BadHeader(s) => write!(f, "bad METIS header: {s}"),
+            MetisError::BadLine { line, what } => write!(f, "line {line}: {what}"),
+            MetisError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declares {declared} edges, body has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetisError {}
+
+/// Parse a METIS `.graph` document.
+pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.starts_with('%') && !l.is_empty());
+
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| MetisError::BadHeader("empty input".into()))?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 || head.len() > 4 {
+        return Err(MetisError::BadHeader(format!("line {hline}: '{header}'")));
+    }
+    let parse_usize = |s: &str, line: usize| {
+        s.parse::<usize>().map_err(|_| MetisError::BadLine {
+            line,
+            what: format!("expected integer, got '{s}'"),
+        })
+    };
+    let n = parse_usize(head[0], hline)?;
+    let m = parse_usize(head[1], hline)?;
+    let fmt = head.get(2).copied().unwrap_or("000");
+    let has_vweights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
+    let has_eweights = fmt.as_bytes().last() == Some(&b'1');
+    let ncon: usize = if has_vweights {
+        head.get(3).map(|s| parse_usize(s, hline)).transpose()?.unwrap_or(1)
+    } else {
+        0
+    };
+
+    let mut builder = GraphBuilder::new(n);
+    let mut weights = vec![1.0; n];
+    // Edge costs keyed by canonical endpoints; validated symmetric.
+    let mut cost_map: std::collections::HashMap<(u32, u32), f64> =
+        std::collections::HashMap::new();
+    let mut half_edges = 0usize;
+
+    for v in 0..n as u32 {
+        let Some((lno, line)) = lines.next() else {
+            return Err(MetisError::BadLine {
+                line: 0,
+                what: format!("missing adjacency line for vertex {}", v + 1),
+            });
+        };
+        let mut tok = line.split_whitespace();
+        if has_vweights {
+            for c in 0..ncon {
+                let w = tok.next().ok_or_else(|| MetisError::BadLine {
+                    line: lno,
+                    what: "missing vertex weight".into(),
+                })?;
+                let val = w.parse::<f64>().map_err(|_| MetisError::BadLine {
+                    line: lno,
+                    what: format!("bad vertex weight '{w}'"),
+                })?;
+                if c == 0 {
+                    weights[v as usize] = val;
+                }
+            }
+        }
+        while let Some(nb) = tok.next() {
+            let nb1 = parse_usize(nb, lno)?;
+            if nb1 == 0 || nb1 > n {
+                return Err(MetisError::BadLine {
+                    line: lno,
+                    what: format!("neighbor {nb1} out of range 1..={n}"),
+                });
+            }
+            let u = (nb1 - 1) as u32;
+            let cost = if has_eweights {
+                let c = tok.next().ok_or_else(|| MetisError::BadLine {
+                    line: lno,
+                    what: "missing edge weight".into(),
+                })?;
+                c.parse::<f64>().map_err(|_| MetisError::BadLine {
+                    line: lno,
+                    what: format!("bad edge weight '{c}'"),
+                })?
+            } else {
+                1.0
+            };
+            if u == v {
+                return Err(MetisError::BadLine {
+                    line: lno,
+                    what: format!("self-loop on vertex {}", v + 1),
+                });
+            }
+            half_edges += 1;
+            let key = if v < u { (v, u) } else { (u, v) };
+            match cost_map.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(cost);
+                    builder.add_edge(v, u);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if (e.get() - cost).abs() > 1e-9 * (1.0 + cost.abs()) {
+                        return Err(MetisError::BadLine {
+                            line: lno,
+                            what: format!(
+                                "asymmetric edge weight on {}-{}: {} vs {}",
+                                key.0 + 1,
+                                key.1 + 1,
+                                e.get(),
+                                cost
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if half_edges != 2 * m {
+        return Err(MetisError::EdgeCountMismatch { declared: m, found: half_edges / 2 });
+    }
+    let graph = builder.build();
+    let costs = graph
+        .edge_list()
+        .iter()
+        .map(|&(u, v)| cost_map[&(u, v)])
+        .collect();
+    Ok(MetisGraph { graph, weights, costs })
+}
+
+/// Serialize to METIS `.graph` format (always writes vertex and edge
+/// weights, fmt `011`).
+pub fn write_metis(g: &Graph, weights: &[f64], costs: &[f64]) -> String {
+    assert_eq!(weights.len(), g.num_vertices());
+    assert_eq!(costs.len(), g.num_edges());
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {} 011 1", g.num_vertices(), g.num_edges());
+    for v in g.vertices() {
+        let _ = write!(out, "{}", weights[v as usize]);
+        for &(nb, e) in g.neighbors(v) {
+            let _ = write!(out, " {} {}", nb + 1, costs[e as usize]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Serialize a partition in the `.part` convention (one class per line).
+pub fn write_partition(chi: &Coloring) -> String {
+    let mut out = String::new();
+    for v in 0..chi.num_vertices() as u32 {
+        let _ = writeln!(
+            out,
+            "{}",
+            chi.get(v).map(|c| c as i64).unwrap_or(-1)
+        );
+    }
+    out
+}
+
+/// Parse a `.part` document into a coloring with `k` classes.
+pub fn parse_partition(input: &str, k: usize) -> Result<Coloring, MetisError> {
+    let mut colors = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let c: i64 = line.parse().map_err(|_| MetisError::BadLine {
+            line: i + 1,
+            what: format!("bad class id '{line}'"),
+        })?;
+        if c >= k as i64 {
+            return Err(MetisError::BadLine {
+                line: i + 1,
+                what: format!("class {c} out of range for k = {k}"),
+            });
+        }
+        colors.push(if c < 0 { crate::coloring::UNCOLORED } else { c as u32 });
+    }
+    Ok(Coloring::from_vec(k, colors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
+        let costs = vec![1.5, 2.5, 3.5, 4.5];
+        let doc = write_metis(&g, &weights, &costs);
+        let back = parse_metis(&doc).unwrap();
+        assert_eq!(back.graph.edge_list(), g.edge_list());
+        assert_eq!(back.weights, weights);
+        assert_eq!(back.costs, costs);
+    }
+
+    #[test]
+    fn parses_plain_unweighted() {
+        // Triangle, no weights.
+        let doc = "% a comment\n3 3\n2 3\n1 3\n1 2\n";
+        let m = parse_metis(doc).unwrap();
+        assert_eq!(m.graph.num_vertices(), 3);
+        assert_eq!(m.graph.num_edges(), 3);
+        assert_eq!(m.weights, vec![1.0; 3]);
+        assert_eq!(m.costs, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse_metis(""), Err(MetisError::BadHeader(_))));
+        assert!(matches!(
+            parse_metis("2 1\n2\n"),
+            Err(MetisError::BadLine { .. }) // missing second line
+        ));
+        // Edge count mismatch: header says 2, body has 1.
+        assert!(matches!(
+            parse_metis("2 2\n2\n1\n"),
+            Err(MetisError::EdgeCountMismatch { declared: 2, found: 1 })
+        ));
+        // Out-of-range neighbor.
+        assert!(matches!(
+            parse_metis("2 1\n3\n1\n"),
+            Err(MetisError::BadLine { .. })
+        ));
+        // Asymmetric edge weights.
+        let doc = "2 1 011 1\n1.0 2 5.0\n1.0 1 6.0\n";
+        assert!(matches!(parse_metis(doc), Err(MetisError::BadLine { .. })));
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let chi = Coloring::from_vec(3, vec![0, 2, 1, crate::coloring::UNCOLORED]);
+        let doc = write_partition(&chi);
+        let back = parse_partition(&doc, 3).unwrap();
+        assert_eq!(back, chi);
+    }
+
+    #[test]
+    fn partition_rejects_out_of_range() {
+        assert!(parse_partition("0\n5\n", 3).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Dense bitsets over a graph's vertex ids.
+//!
+//! Every algorithm in the paper works on induced subgraphs `G[W]`; a
+//! [`VertexSet`] is the `W`. The representation is a plain `u64` bitset with
+//! a cached cardinality, giving `O(1)` membership tests (the inner loop of
+//! every boundary-cost computation) and `O(n/64)` iteration.
+
+use crate::graph::VertexId;
+
+/// A subset of `0..universe` vertex ids, stored as a bitset.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VertexSet {
+    words: Vec<u64>,
+    len: usize,
+    universe: usize,
+}
+
+impl std::fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VertexSet(len={}, universe={})", self.len, self.universe)
+    }
+}
+
+impl VertexSet {
+    /// Empty subset of `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        Self { words: vec![0; universe.div_ceil(64)], len: 0, universe }
+    }
+
+    /// The full set `{0, …, universe−1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut words = vec![u64::MAX; universe.div_ceil(64)];
+        if !universe.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (universe % 64)) - 1;
+            }
+        }
+        Self { words, len: universe, universe }
+    }
+
+    /// Build from an iterator of vertex ids (duplicates are fine).
+    pub fn from_iter(universe: usize, iter: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut s = Self::empty(universe);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Size of the ambient universe (the graph's `n`).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Cardinality `|W|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let v = v as usize;
+        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Insert `v`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let i = v as usize;
+        assert!(i < self.universe, "vertex {i} outside universe {}", self.universe);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        let i = v as usize;
+        assert!(i < self.universe, "vertex {i} outside universe {}", self.universe);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Members collected into a `Vec` (increasing id order).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.iter().collect()
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place set difference `self \ other`.
+    pub fn difference_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut len = 0usize;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// New set `self \ other`.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// New set `self ∪ other`.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// New set `self ∩ other`.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Whether `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+impl FromIterator<VertexId> for VertexSet {
+    /// Builds a set whose universe is `max id + 1`; prefer
+    /// [`VertexSet::from_iter`] with an explicit universe in library code.
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        let ids: Vec<VertexId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        VertexSet::from_iter(universe, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = VertexSet::empty(70);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        let f = VertexSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert!(f.contains(69));
+        assert_eq!(f.iter().count(), 70);
+        let f64b = VertexSet::full(64);
+        assert_eq!(f64b.len(), 64);
+        assert_eq!(f64b.iter().max(), Some(63));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VertexSet::empty(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = VertexSet::from_iter(200, [150u32, 3, 64, 63, 65]);
+        assert_eq!(s.to_vec(), vec![3, 63, 64, 65, 150]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_iter(10, [1u32, 2, 3]);
+        let b = VertexSet::from_iter(10, [3u32, 4]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn cardinality_tracked_through_algebra() {
+        let mut a = VertexSet::from_iter(130, (0u32..100).filter(|v| v % 3 == 0));
+        let b = VertexSet::from_iter(130, (0u32..100).filter(|v| v % 2 == 0));
+        let expected_union = (0..100).filter(|v| v % 3 == 0 || v % 2 == 0).count();
+        a.union_with(&b);
+        assert_eq!(a.len(), expected_union);
+        assert_eq!(a.iter().count(), expected_union);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = VertexSet::from_iter(20, [1u32, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mmb-instances
+//!
+//! Instance and workload generators for the min-max boundary decomposition
+//! experiments:
+//!
+//! * [`weights`] — adversarial vertex-weight families. Definition 2 takes a
+//!   supremum over *all* weight functions, so every experiment sweeps these.
+//! * [`costs`] — edge-cost families with prescribed fluctuation
+//!   `φ = max c / min c`, the control parameter of the grid separator
+//!   theorem (Theorem 19).
+//! * [`climate`] — the paper's §1 motivating workload: an earth-surface-like
+//!   mesh whose per-region simulation times vary with day/night and storm
+//!   systems, and whose coupling costs vary with the local "weather
+//!   gradient".
+//! * [`tight`] — certified lower-bound instances (Theorem 5 / Lemma 40):
+//!   disjoint copies `G̃` of a base instance all of whose balanced
+//!   separations are provably expensive, via exhaustive search (small `n`)
+//!   or grid isoperimetry.
+//!
+//! All generators take explicit seeds and are deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod climate;
+pub mod costs;
+pub mod tight;
+pub mod weights;

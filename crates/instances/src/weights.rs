@@ -1,0 +1,118 @@
+//! Adversarial vertex-weight families.
+//!
+//! The min-max boundary decomposition cost (Definition 2) is a supremum
+//! over all weight functions `w : V → R+`; these families probe the regimes
+//! that stress different parts of the pipeline: heavy single vertices
+//! (strict-balance slack), heavy tails (bin-packing), spatial correlation
+//! (separator quality), and flat weights (pure boundary minimization).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Named weight families, sweepable in experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightFamily {
+    /// `w ≡ 1` — the classical unweighted case.
+    Constant,
+    /// iid uniform in `[1, 2)`.
+    Uniform,
+    /// iid exponential-ish tail: `w = ln(1/u)` for `u ~ U(0,1]`, shifted by
+    /// 0.05 so weights stay positive.
+    Exponential,
+    /// Pareto tail `w = u^{−3/4}` — a few very heavy vertices.
+    PowerLaw,
+    /// Mostly tiny weights with ~1% spikes of weight `n/10`.
+    Spike,
+    /// Half the vertices weigh 1, half weigh 10 (mixture).
+    Bimodal,
+}
+
+/// All families, for sweeps.
+pub const ALL_FAMILIES: [WeightFamily; 6] = [
+    WeightFamily::Constant,
+    WeightFamily::Uniform,
+    WeightFamily::Exponential,
+    WeightFamily::PowerLaw,
+    WeightFamily::Spike,
+    WeightFamily::Bimodal,
+];
+
+impl WeightFamily {
+    /// Short name for report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightFamily::Constant => "constant",
+            WeightFamily::Uniform => "uniform",
+            WeightFamily::Exponential => "exponential",
+            WeightFamily::PowerLaw => "powerlaw",
+            WeightFamily::Spike => "spike",
+            WeightFamily::Bimodal => "bimodal",
+        }
+    }
+
+    /// Generate `n` weights deterministically from `seed`.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1B54A32D192ED03);
+        (0..n)
+            .map(|_| match self {
+                WeightFamily::Constant => 1.0,
+                WeightFamily::Uniform => 1.0 + rng.random::<f64>(),
+                WeightFamily::Exponential => {
+                    let u: f64 = rng.random::<f64>().max(1e-12);
+                    0.05 + (1.0 / u).ln()
+                }
+                WeightFamily::PowerLaw => {
+                    let u: f64 = rng.random::<f64>().max(1e-9);
+                    u.powf(-0.75)
+                }
+                WeightFamily::Spike => {
+                    if rng.random::<f64>() < 0.01 {
+                        n as f64 / 10.0
+                    } else {
+                        0.1
+                    }
+                }
+                WeightFamily::Bimodal => {
+                    if rng.random::<bool>() {
+                        1.0
+                    } else {
+                        10.0
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_positive() {
+        for fam in ALL_FAMILIES {
+            let a = fam.generate(500, 7);
+            let b = fam.generate(500, 7);
+            assert_eq!(a, b, "{} not deterministic", fam.name());
+            assert!(a.iter().all(|&w| w > 0.0 && w.is_finite()), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn families_differ() {
+        let c = WeightFamily::Constant.generate(100, 1);
+        let p = WeightFamily::PowerLaw.generate(100, 1);
+        assert!(c.iter().all(|&x| x == 1.0));
+        let pmax = p.iter().cloned().fold(0.0, f64::max);
+        let pmin = p.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(pmax / pmin > 2.0, "power law should have a tail");
+    }
+
+    #[test]
+    fn spike_has_heavy_hitters() {
+        let s = WeightFamily::Spike.generate(2000, 3);
+        let heavy = s.iter().filter(|&&w| w > 1.0).count();
+        assert!(heavy >= 5, "expected some spikes, got {heavy}");
+        assert!(heavy <= 100, "too many spikes: {heavy}");
+    }
+}

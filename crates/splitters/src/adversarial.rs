@@ -1,0 +1,76 @@
+//! Failure-injection splitter.
+//!
+//! Returns sets that satisfy the Definition-3 balance contract **exactly**
+//! but are as fragmented as possible (a pseudo-random interleaving order),
+//! so their boundary cost is terrible. The decomposition pipeline must
+//! still deliver strict balance when driven by this splitter — only the
+//! boundary-cost guarantee degrades — which the integration tests verify.
+
+use mmb_graph::{VertexId, VertexSet};
+
+use crate::{prefix_split, Splitter};
+
+/// Deliberately low-quality (but contract-honoring) splitter.
+pub struct AdversarialSplitter {
+    universe: usize,
+    salt: u64,
+}
+
+impl AdversarialSplitter {
+    /// Create with a salt controlling the scrambling order.
+    pub fn new(universe: usize, salt: u64) -> Self {
+        Self { universe, salt }
+    }
+
+    fn scramble(&self, v: VertexId) -> u64 {
+        // SplitMix64: good avalanche, cheap, deterministic.
+        let mut z = (v as u64).wrapping_add(self.salt).wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Splitter for AdversarialSplitter {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let mut order: Vec<VertexId> = w_set.iter().collect();
+        order.sort_by_key(|&v| self.scramble(v));
+        prefix_split(self.universe, &order, weights, target)
+    }
+
+    fn name(&self) -> &str {
+        "adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::check_split;
+    use mmb_graph::cut::boundary_cost_within;
+    use mmb_graph::gen::misc::path;
+
+    #[test]
+    fn contract_still_holds() {
+        let sp = AdversarialSplitter::new(20, 7);
+        let w = VertexSet::full(20);
+        let weights: Vec<f64> = (0..20).map(|i| 1.0 + (i % 4) as f64).collect();
+        for target in [0.0, 10.0, 25.0] {
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds());
+        }
+    }
+
+    #[test]
+    fn quality_is_much_worse_than_order_splitter() {
+        let g = path(200);
+        let costs = vec![1.0; 199];
+        let w = VertexSet::full(200);
+        let weights = vec![1.0; 200];
+        let adv = AdversarialSplitter::new(200, 3);
+        let u = adv.split(&w, &weights, 100.0);
+        let bad = boundary_cost_within(&g, &costs, &w, &u);
+        // An interleaved half of a 200-path cuts a huge number of edges.
+        assert!(bad > 20.0, "adversarial cut unexpectedly cheap: {bad}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Greedy BFS splitter — the "no theory" engineering baseline.
+//!
+//! Grows a breadth-first region from the lowest-id member of `W` and takes
+//! the best prefix. On nicely-clustered graphs BFS order has decent
+//! locality; the paper's point is precisely that such heuristics carry *no*
+//! worst-case boundary guarantee, which experiment E7 demonstrates.
+
+use mmb_graph::{Graph, VertexId, VertexSet};
+
+use crate::{prefix_split, Splitter};
+
+/// BFS-order prefix splitter.
+pub struct BfsSplitter<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> BfsSplitter<'g> {
+    /// Bind to a host graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+
+    /// BFS order of `W` (component by component, increasing seed id).
+    pub fn bfs_order(&self, w_set: &VertexSet) -> Vec<VertexId> {
+        let mut order = Vec::with_capacity(w_set.len());
+        let mut seen = VertexSet::empty(self.graph.num_vertices());
+        let mut queue = std::collections::VecDeque::new();
+        for seed in w_set.iter() {
+            if seen.contains(seed) {
+                continue;
+            }
+            seen.insert(seed);
+            queue.push_back(seed);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                for &(nb, _) in self.graph.neighbors(v) {
+                    if w_set.contains(nb) && seen.insert(nb) {
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+impl Splitter for BfsSplitter<'_> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let order = self.bfs_order(w_set);
+        prefix_split(self.graph.num_vertices(), &order, weights, target)
+    }
+
+    fn name(&self) -> &str {
+        "bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::check_split;
+    use mmb_graph::gen::grid::GridGraph;
+    use mmb_graph::gen::misc::{cycle, path};
+
+    #[test]
+    fn contract_on_cycle() {
+        let g = cycle(12);
+        let sp = BfsSplitter::new(&g);
+        let w = VertexSet::full(12);
+        let weights: Vec<f64> = (0..12).map(|i| 1.0 + (i % 3) as f64).collect();
+        for target in [0.0, 5.0, 11.0, 100.0] {
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds(), "target {target}");
+        }
+    }
+
+    #[test]
+    fn covers_disconnected_subsets() {
+        let g = path(10);
+        let sp = BfsSplitter::new(&g);
+        let w = VertexSet::from_iter(10, [0u32, 1, 5, 6, 7]);
+        let order = sp.bfs_order(&w);
+        assert_eq!(order.len(), 5);
+        let weights = vec![1.0; 10];
+        let u = sp.split(&w, &weights, 2.5);
+        assert!(check_split(&w, &u, &weights, 2.5).holds());
+    }
+
+    #[test]
+    fn bfs_region_is_contiguous_on_grid() {
+        let grid = GridGraph::lattice(&[6, 6]);
+        let sp = BfsSplitter::new(&grid.graph);
+        let w = VertexSet::full(36);
+        let weights = vec![1.0; 36];
+        let u = sp.split(&w, &weights, 18.0);
+        assert!(check_split(&w, &u, &weights, 18.0).holds());
+        // The BFS ball from a corner is connected.
+        let pts: Vec<Vec<i64>> = u.iter().map(|v| grid.coord(v).to_vec()).collect();
+        let sub = GridGraph::from_points(2, pts);
+        assert!(sub.graph.is_connected());
+    }
+}

@@ -1,0 +1,168 @@
+//! Empirical splittability estimation.
+//!
+//! `σ_p(G, c)` (Definition 3) is a supremum over all induced subgraphs,
+//! weight functions and splitting values — not computable exactly, but the
+//! paper's introduction argues it is the quantity that "predicts the
+//! scalability" of a scientific-computing application. This module
+//! estimates it by adversarial sampling: random vertex subsets (BFS balls,
+//! random induced subsets, and the full graph), random weight profiles
+//! (flat, skewed, point-mass-diluted) and a spread of splitting values,
+//! reporting the largest observed `∂_W U / ‖c|_W‖_p`.
+//!
+//! The estimate is a **lower bound** on `σ_p` with respect to the given
+//! splitter (the true supremum may be larger), and an upper-bound
+//! *certificate of quality* for the splitter on the sampled workloads.
+
+use mmb_graph::cut::boundary_cost_within;
+use mmb_graph::measure::edge_norm_p;
+use mmb_graph::{Graph, VertexSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Splitter;
+
+/// Result of a sampling run.
+#[derive(Clone, Debug)]
+pub struct SigmaEstimate {
+    /// Largest observed `∂_W U / ‖c|_W‖_p`.
+    pub sigma: f64,
+    /// Number of (subset, weights, target) triples evaluated.
+    pub samples: usize,
+    /// The subset size at which the worst ratio occurred.
+    pub worst_subset_size: usize,
+}
+
+/// Estimate `σ_p` of `(g, costs)` under `splitter` from `rounds` sampled
+/// subgraph/weight/target triples.
+pub fn estimate_sigma<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    splitter: &S,
+    p: f64,
+    rounds: usize,
+    seed: u64,
+) -> SigmaEstimate {
+    assert!(p >= 1.0, "p must be at least 1");
+    assert_eq!(costs.len(), g.num_edges(), "cost vector length mismatch");
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545F4914F6CDD1D);
+    let mut est = SigmaEstimate { sigma: 0.0, samples: 0, worst_subset_size: 0 };
+    if n == 0 {
+        return est;
+    }
+
+    for round in 0..rounds {
+        // Subset: alternate between the full set, a BFS ball, and an iid
+        // random subset.
+        let w_set = match round % 3 {
+            0 => VertexSet::full(n),
+            1 => bfs_ball(g, rng.random_range(0..n as u32), rng.random_range(1..=n), n),
+            _ => {
+                let keep = 0.3 + 0.6 * rng.random::<f64>();
+                let s = VertexSet::from_iter(
+                    n,
+                    (0..n as u32).filter(|_| rng.random::<f64>() < keep),
+                );
+                if s.is_empty() {
+                    VertexSet::full(n)
+                } else {
+                    s
+                }
+            }
+        };
+        // Weights: flat, geometric skew, or diluted point masses.
+        let weights: Vec<f64> = match round % 4 {
+            0 => vec![1.0; n],
+            1 => (0..n).map(|v| 1.02f64.powi((v % 512) as i32)).collect(),
+            2 => (0..n)
+                .map(|_| if rng.random::<f64>() < 0.05 { 10.0 } else { 0.1 })
+                .collect(),
+            _ => (0..n).map(|_| rng.random::<f64>()).collect(),
+        };
+        let total: f64 = w_set.iter().map(|v| weights[v as usize]).sum();
+        let target = total * rng.random::<f64>();
+        let u = splitter.split(&w_set, &weights, target);
+        let norm = edge_norm_p(g, costs, &w_set, p);
+        est.samples += 1;
+        if norm > 0.0 {
+            let ratio = boundary_cost_within(g, costs, &w_set, &u) / norm;
+            if ratio > est.sigma {
+                est.sigma = ratio;
+                est.worst_subset_size = w_set.len();
+            }
+        }
+    }
+    est
+}
+
+fn bfs_ball(g: &Graph, seed: u32, cap: usize, n: usize) -> VertexSet {
+    let mut out = VertexSet::empty(n);
+    let mut queue = std::collections::VecDeque::from([seed]);
+    out.insert(seed);
+    while let Some(v) = queue.pop_front() {
+        if out.len() >= cap {
+            break;
+        }
+        for &(nb, _) in g.neighbors(v) {
+            if out.len() >= cap {
+                break;
+            }
+            if out.insert(nb) {
+                queue.push_back(nb);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSplitter;
+    use crate::order::OrderSplitter;
+    use mmb_graph::gen::grid::GridGraph;
+    use mmb_graph::gen::misc::path;
+
+    #[test]
+    fn paths_have_tiny_sigma() {
+        // Interval splitting: ∂_W U ≤ 2·‖c‖∞ ≤ 2·‖c|W‖_p; σ estimate must
+        // come out ≤ 2.
+        let g = path(256);
+        let costs = vec![1.0; 255];
+        let sp = OrderSplitter::by_id(&g);
+        let est = estimate_sigma(&g, &costs, &sp, 2.0, 60, 7);
+        assert!(est.samples == 60);
+        assert!(est.sigma <= 2.0 + 1e-9, "path sigma {}", est.sigma);
+        assert!(est.sigma > 0.0);
+    }
+
+    #[test]
+    fn grids_have_moderate_sigma() {
+        let grid = GridGraph::lattice(&[16, 16]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let est = estimate_sigma(&grid.graph, &costs, &sp, 2.0, 45, 11);
+        // ‖c‖₂ = √480 ≈ 21.9; a bisection cut is ~16–32 edges → σ ≈ 1–2.
+        assert!(est.sigma < 5.0, "grid sigma estimate too large: {}", est.sigma);
+        assert!(est.worst_subset_size > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let grid = GridGraph::lattice(&[8, 8]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let a = estimate_sigma(&grid.graph, &costs, &sp, 2.0, 20, 3);
+        let b = estimate_sigma(&grid.graph, &costs, &sp, 2.0, 20, 3);
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.worst_subset_size, b.worst_subset_size);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = mmb_graph::graph::graph_from_edges(0, &[]);
+        let sp = OrderSplitter::by_key(0, vec![], "noop");
+        let est = estimate_sigma(&g, &[], &sp, 2.0, 5, 1);
+        assert_eq!(est.sigma, 0.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! GridSplit — the separator theorem for `d`-dimensional grid graphs with
+//! arbitrary edge costs (Section 6, Theorem 19).
+//!
+//! The algorithm follows the paper's `GridSplit` procedure exactly:
+//!
+//! 1. Scale costs so the minimum positive cost is 1 (then the fluctuation is
+//!    `φ = ‖c‖_∞`).
+//! 2. Pick the cell side `ℓ = max(⌈(‖c‖₁/d)^{1/d}⌉, 1)` and the cheapest of
+//!    the `ℓ` shifted coarsenings `ϕ_α^{(ℓ)}(a) = ⌊(a + (α−1)·1)/ℓ⌋`
+//!    (Lemma 20: the cheapest has coarse cost `‖c/ϕ‖₁ ≤ ‖c‖₁/ℓ`, because
+//!    every grid edge is cut by exactly one shift `α`).
+//! 3. Order the cells lexicographically, take whole cells while they fit
+//!    under the splitting value (a *monotone* prefix — Lemmas 21–24), and
+//!    recurse into the straddling cell with reduced costs
+//!    `c′ = (c − 1)/2`, discarding edges of cost ≤ 1.
+//! 4. When `ℓ = 1` the coarse graph is the grid itself; a lexicographic
+//!    vertex prefix finishes the job.
+//!
+//! Costs halve per level, so there are `O(log φ)` levels (Lemma 27) and the
+//! returned set costs `O(d·log^{1/d}(φ+1)·‖c‖_{d/(d−1)})` (Theorem 19).
+
+use std::collections::HashMap;
+
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::{VertexId, VertexSet};
+
+use crate::{prefix_split, Splitter};
+
+/// Splitting sets for grid graphs with arbitrary positive edge costs.
+pub struct GridSplitter<'g> {
+    grid: &'g GridGraph,
+    /// Costs scaled so the minimum positive cost is 1 (zero costs stay 0,
+    /// they are free to cut and vanish after the first level).
+    scaled: Vec<f64>,
+    name: &'static str,
+}
+
+impl<'g> GridSplitter<'g> {
+    /// Bind to a grid graph and its edge costs.
+    pub fn new(grid: &'g GridGraph, costs: &[f64]) -> Self {
+        assert_eq!(costs.len(), grid.graph.num_edges(), "cost vector length mismatch");
+        assert!(costs.iter().all(|&c| c >= 0.0 && c.is_finite()), "costs must be finite and >= 0");
+        let cmin = costs.iter().copied().filter(|&c| c > 0.0).fold(f64::INFINITY, f64::min);
+        let scaled = if cmin.is_finite() && cmin > 0.0 {
+            costs.iter().map(|&c| c / cmin).collect()
+        } else {
+            costs.to_vec()
+        };
+        Self { grid, scaled, name: "gridsplit" }
+    }
+
+    /// The naive unit-cost variant: ignores the actual costs when choosing
+    /// cuts (the `σ_p(G, c) ≤ σ_p(G, 1)·φ` generalization the paper calls
+    /// out as wasteful; ablation experiment E9).
+    pub fn unit_cost(grid: &'g GridGraph) -> Self {
+        Self {
+            grid,
+            scaled: vec![1.0; grid.graph.num_edges()],
+            name: "gridsplit/unit",
+        }
+    }
+
+    /// Effective cost of edge `e` at recursion `level`:
+    /// `c_L = (c + 1)/2^L − 1`; the edge is present iff `c_L > 0`
+    /// (level 0 keeps every edge).
+    #[inline]
+    fn level_cost(&self, e: u32, level: u32) -> f64 {
+        let c = self.scaled[e as usize];
+        (c + 1.0) / (1u64 << level.min(62)) as f64 - 1.0
+    }
+
+    /// One coarsening level: distribute `members` into ℓ-cells under the
+    /// cheapest shift α. Returns `(ordered cells, ℓ)` — cells sorted
+    /// lexicographically by cell coordinate — or `None` when `ℓ = 1`
+    /// (trivial case).
+    fn coarsen(&self, members: &[VertexId], level: u32) -> Option<Vec<Vec<VertexId>>> {
+        let d = self.grid.dim;
+        let in_s = VertexSet::from_iter(self.grid.graph.num_vertices(), members.iter().copied());
+
+        // Inner edges with positive current cost, described by the axis they
+        // span and the smaller coordinate along it.
+        let mut c1 = 0.0f64;
+        let mut edges: Vec<(i64, f64)> = Vec::new(); // (min coordinate on the differing axis, cost)
+        for &v in members {
+            for &(nb, e) in self.grid.graph.neighbors(v) {
+                if nb <= v || !in_s.contains(nb) {
+                    continue;
+                }
+                let cur = if level == 0 {
+                    self.scaled[e as usize]
+                } else {
+                    self.level_cost(e, level)
+                };
+                if cur <= 0.0 {
+                    continue;
+                }
+                c1 += cur;
+                let (cv, cn) = (self.grid.coord(v), self.grid.coord(nb));
+                let axis = (0..d).find(|&a| cv[a] != cn[a]).expect("edge endpoints share coords");
+                edges.push((cv[axis].min(cn[axis]), cur));
+            }
+        }
+
+        let ell = ((c1 / d as f64).powf(1.0 / d as f64).ceil() as i64).max(1);
+        // Guard against pathological cost magnitudes.
+        let ell = ell.min(1 << 40);
+        if ell <= 1 {
+            return None;
+        }
+
+        // Lemma 20: each edge is cut by exactly one shift α ∈ [1, ℓ];
+        // accumulate per-shift cost sparsely and pick the cheapest.
+        let mut per_alpha: HashMap<i64, f64> = HashMap::new();
+        for &(t, cost) in &edges {
+            let mut alpha = (-t).rem_euclid(ell);
+            if alpha == 0 {
+                alpha = ell;
+            }
+            *per_alpha.entry(alpha).or_insert(0.0) += cost;
+        }
+        let alpha = if (per_alpha.len() as i64) < ell {
+            // Some shift cuts nothing at all.
+            (1..=ell).find(|a| !per_alpha.contains_key(a)).unwrap()
+        } else {
+            *per_alpha
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(a, _)| a)
+                .unwrap()
+        };
+
+        // Assign members to cells ϕ_α(x) = ⌊(x + (α−1)·1)/ℓ⌋.
+        let mut cells: HashMap<Vec<i64>, Vec<VertexId>> = HashMap::new();
+        for &v in members {
+            let key: Vec<i64> = self
+                .grid
+                .coord(v)
+                .iter()
+                .map(|&x| (x + alpha - 1).div_euclid(ell))
+                .collect();
+            cells.entry(key).or_default().push(v);
+        }
+        let mut keyed: Vec<(Vec<i64>, Vec<VertexId>)> = cells.into_iter().collect();
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Some(keyed.into_iter().map(|(_, vs)| vs).collect())
+    }
+
+    /// Lexicographic order of `members` by coordinates (the ℓ = 1 case).
+    fn lex_order(&self, members: &mut [VertexId]) {
+        members.sort_unstable_by(|&a, &b| self.grid.coord(a).cmp(self.grid.coord(b)));
+    }
+}
+
+impl Splitter for GridSplitter<'_> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let n = self.grid.graph.num_vertices();
+        let mut members: Vec<VertexId> = w_set.iter().collect();
+        let total: f64 = members.iter().map(|&v| weights[v as usize]).sum();
+        let mut rem = target.clamp(0.0, total);
+        let mut taken = VertexSet::empty(n);
+        let mut level = 0u32;
+
+        loop {
+            match self.coarsen(&members, level) {
+                None => {
+                    // ℓ = 1: lexicographic vertex prefix within the cell.
+                    self.lex_order(&mut members);
+                    let local = prefix_split(n, &members, weights, rem);
+                    taken.union_with(&local);
+                    return taken;
+                }
+                Some(cells) => {
+                    // Take whole cells in lex order while they fit; recurse
+                    // into the straddling cell.
+                    let mut straddle: Option<Vec<VertexId>> = None;
+                    for cell in cells {
+                        let wcell: f64 = cell.iter().map(|&v| weights[v as usize]).sum();
+                        if straddle.is_none() && wcell <= rem {
+                            rem -= wcell;
+                            for &v in &cell {
+                                taken.insert(v);
+                            }
+                        } else if straddle.is_none() {
+                            straddle = Some(cell);
+                        }
+                        // Cells after the straddling one are left out.
+                    }
+                    match straddle {
+                        None => return taken, // everything fit (rem ≈ 0 now)
+                        Some(cell) => {
+                            members = cell;
+                            level += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Theorem 19's cost bound with unit constant:
+/// `d · log^{1/d}(φ + 1) · ‖c|_W‖_{d/(d−1)}` (the `log` term is taken as
+/// `max(log₂(φ+1), 1)` so the bound stays positive for φ ≤ 1).
+pub fn theorem19_bound(d: usize, fluctuation: f64, c_norm_p: f64) -> f64 {
+    let lg = (fluctuation + 1.0).log2().max(1.0);
+    d as f64 * lg.powf(1.0 / d as f64) * c_norm_p
+}
+
+/// Check that `set` is *monotone* in `within` (Section 6): for every
+/// `y ∈ set` and `x ∈ within` with `x ≤ y` componentwise, `x ∈ set`.
+/// Quadratic; intended for tests (Lemma 24 verification).
+pub fn is_monotone_in(grid: &GridGraph, set: &VertexSet, within: &VertexSet) -> bool {
+    let members: Vec<VertexId> = set.iter().collect();
+    for x in within.iter() {
+        if set.contains(x) {
+            continue;
+        }
+        let cx = grid.coord(x);
+        for &y in &members {
+            let cy = grid.coord(y);
+            if cx.iter().zip(cy).all(|(a, b)| a <= b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::check_split;
+    use mmb_graph::cut::boundary_cost_within;
+    use mmb_graph::measure::edge_norm_p;
+
+    fn unit_weights(n: usize) -> Vec<f64> {
+        vec![1.0; n]
+    }
+
+    #[test]
+    fn contract_on_square_grid() {
+        let grid = GridGraph::lattice(&[8, 8]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(64);
+        let weights = unit_weights(64);
+        for target in [0.0, 1.0, 13.0, 32.0, 63.0, 64.0] {
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds(), "target {target}");
+        }
+    }
+
+    #[test]
+    fn contract_on_weighted_3d_grid() {
+        let grid = GridGraph::lattice(&[4, 4, 4]);
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| 1.0 + (e % 17) as f64)
+            .collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(64);
+        let weights: Vec<f64> = (0..64).map(|v| 1.0 + (v % 5) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        for frac in [0.1, 0.33, 0.5, 0.9] {
+            let target = frac * total;
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds(), "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn cost_respects_theorem19_on_unit_grid() {
+        // 16×16 unit grid, bisect. Theorem 19 bound with d = 2, φ = 1.
+        let grid = GridGraph::lattice(&[16, 16]);
+        let m = grid.graph.num_edges();
+        let costs = vec![1.0; m];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(256);
+        let weights = unit_weights(256);
+        let u = sp.split(&w, &weights, 128.0);
+        let cut = boundary_cost_within(&grid.graph, &costs, &w, &u);
+        let bound = theorem19_bound(2, 1.0, edge_norm_p(&grid.graph, &costs, &w, 2.0));
+        assert!(
+            cut <= 3.0 * bound,
+            "cut {cut} exceeds 3× Theorem 19 bound {bound}"
+        );
+        // And it must be non-trivially good: far below the total cost.
+        assert!(cut < 0.2 * m as f64);
+    }
+
+    #[test]
+    fn splitting_sets_are_monotone() {
+        // Lemma 24: GridSplit returns monotone sets.
+        let grid = GridGraph::lattice(&[9, 9]);
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| 1.0 + ((e * 7) % 23) as f64)
+            .collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(81);
+        let weights = unit_weights(81);
+        for target in [10.0, 27.0, 40.0, 70.0] {
+            let u = sp.split(&w, &weights, target);
+            assert!(
+                is_monotone_in(&grid, &u, &w),
+                "GridSplit set not monotone at target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_subsets_and_disconnection() {
+        let grid = GridGraph::percolation(&[12, 12], 0.75, 11);
+        let n = grid.graph.num_vertices();
+        let costs = vec![2.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        // Split a random sub-subset.
+        let w = VertexSet::from_iter(n, (0..n as u32).filter(|v| v % 3 != 0));
+        let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
+        let wsum: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let u = sp.split(&w, &weights, wsum / 2.0);
+        assert!(check_split(&w, &u, &weights, wsum / 2.0).holds());
+    }
+
+    #[test]
+    fn zero_cost_edges_are_fine() {
+        let grid = GridGraph::lattice(&[6, 6]);
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| if e % 2 == 0 { 0.0 } else { 3.0 })
+            .collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(36);
+        let weights = unit_weights(36);
+        let u = sp.split(&w, &weights, 18.0);
+        assert!(check_split(&w, &u, &weights, 18.0).holds());
+    }
+
+    #[test]
+    fn one_dimensional_grid_cuts_one_edge() {
+        let grid = GridGraph::path(64);
+        let costs = vec![1.0; 63];
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(64);
+        let weights = unit_weights(64);
+        let u = sp.split(&w, &weights, 32.0);
+        assert!(check_split(&w, &u, &weights, 32.0).holds());
+        // A monotone (prefix) subset of a path cuts exactly one edge.
+        assert!(boundary_cost_within(&grid.graph, &costs, &w, &u) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let grid = GridGraph::lattice(&[2, 2]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let empty = VertexSet::empty(4);
+        let u = sp.split(&empty, &unit_weights(4), 0.0);
+        assert!(u.is_empty());
+        let single = VertexSet::from_iter(4, [2u32]);
+        let u = sp.split(&single, &unit_weights(4), 1.0);
+        assert!(check_split(&single, &u, &unit_weights(4), 1.0).holds());
+    }
+
+    #[test]
+    fn expensive_column_instance_stays_within_bound() {
+        // One enormously expensive column at x = 7→8. The cost-aware
+        // splitter must stay within Theorem 19's bound and never do worse
+        // than the cost-blind variant (which lex-cuts straight through the
+        // expensive column at this target).
+        let grid = GridGraph::lattice(&[16, 16]);
+        let mut costs = vec![1.0; grid.graph.num_edges()];
+        for (e, &(a, b)) in grid.graph.edge_list().iter().enumerate() {
+            let (ca, cb) = (grid.coord(a), grid.coord(b));
+            if ca[0] != cb[0] && ca[0].min(cb[0]) == 7 {
+                costs[e] = 1000.0;
+            }
+        }
+        let w = VertexSet::full(256);
+        let weights = unit_weights(256);
+        let aware = GridSplitter::new(&grid, &costs);
+        let blind = GridSplitter::unit_cost(&grid);
+        let ua = aware.split(&w, &weights, 128.0);
+        let ub = blind.split(&w, &weights, 128.0);
+        let ca = boundary_cost_within(&grid.graph, &costs, &w, &ua);
+        let cb = boundary_cost_within(&grid.graph, &costs, &w, &ub);
+        assert!(check_split(&w, &ua, &weights, 128.0).holds());
+        assert!(check_split(&w, &ub, &weights, 128.0).holds());
+        assert!(
+            ca <= cb + 1e-9,
+            "cost-aware ({ca}) should not lose to cost-blind ({cb})"
+        );
+        let bound = theorem19_bound(
+            2,
+            1000.0,
+            edge_norm_p(&grid.graph, &costs, &w, 2.0),
+        );
+        assert!(ca <= 3.0 * bound, "cut {ca} exceeds 3× Theorem 19 bound {bound}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Splitting via a fixed linear arrangement.
+//!
+//! Taking prefixes of a linear vertex order is the simplest way to satisfy
+//! the splitting contract. On a path graph ordered by position this is the
+//! *optimal* splitter: any prefix of the positions cuts at most one edge of
+//! each maximal sub-path of `W`, so `σ_p ≤ 2` with respect to any `p`. On
+//! other graphs the quality depends entirely on how well the order respects
+//! locality (which is why [`crate::adversarial::AdversarialSplitter`] uses a
+//! deliberately bad order).
+
+use mmb_graph::{Graph, VertexId, VertexSet};
+
+use crate::{prefix_split, Splitter};
+
+/// Splitter that orders `W` by a fixed per-vertex key and takes prefixes.
+pub struct OrderSplitter {
+    universe: usize,
+    key: Vec<i64>,
+    name: String,
+}
+
+impl OrderSplitter {
+    /// Order vertices by an arbitrary integer key (ties broken by id).
+    pub fn by_key(universe: usize, key: Vec<i64>, name: impl Into<String>) -> Self {
+        assert_eq!(key.len(), universe, "key length mismatch");
+        Self { universe, key, name: name.into() }
+    }
+
+    /// Order by vertex id — correct for [`mmb_graph::gen::misc::path`],
+    /// whose ids are positions.
+    pub fn by_id(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        Self::by_key(n, (0..n as i64).collect(), "order/id")
+    }
+
+    /// Order by one coordinate of a grid graph (a sweep-plane splitter).
+    pub fn by_axis(grid: &mmb_graph::gen::grid::GridGraph, axis: usize) -> Self {
+        assert!(axis < grid.dim, "axis out of range");
+        let n = grid.graph.num_vertices();
+        let key = (0..n as u32).map(|v| grid.coord(v)[axis]).collect();
+        Self::by_key(n, key, format!("order/axis{axis}"))
+    }
+}
+
+impl Splitter for OrderSplitter {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let mut order: Vec<VertexId> = w_set.iter().collect();
+        order.sort_by_key(|&v| (self.key[v as usize], v));
+        prefix_split(self.universe, &order, weights, target)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::check_split;
+    use mmb_graph::cut::boundary_cost_within;
+    use mmb_graph::gen::misc::path;
+
+    #[test]
+    fn path_prefix_cuts_one_edge() {
+        let g = path(10);
+        let costs = vec![1.0; 9];
+        let sp = OrderSplitter::by_id(&g);
+        let w = VertexSet::full(10);
+        let weights = vec![1.0; 10];
+        let u = sp.split(&w, &weights, 5.0);
+        assert!(check_split(&w, &u, &weights, 5.0).holds());
+        assert_eq!(boundary_cost_within(&g, &costs, &w, &u), 1.0);
+    }
+
+    #[test]
+    fn fragmented_subset_still_cheap() {
+        // W = two disjoint intervals of the path; a prefix cuts at most one
+        // inner edge per interval it straddles.
+        let g = path(10);
+        let costs = vec![1.0; 9];
+        let sp = OrderSplitter::by_id(&g);
+        let w = VertexSet::from_iter(10, [0u32, 1, 2, 6, 7, 8, 9]);
+        let weights = vec![1.0; 10];
+        let u = sp.split(&w, &weights, 3.5);
+        assert!(check_split(&w, &u, &weights, 3.5).holds());
+        assert!(boundary_cost_within(&g, &costs, &w, &u) <= 1.0);
+    }
+
+    #[test]
+    fn respects_weights_not_counts() {
+        let g = path(4);
+        let sp = OrderSplitter::by_id(&g);
+        let w = VertexSet::full(4);
+        let weights = vec![10.0, 1.0, 1.0, 1.0];
+        let u = sp.split(&w, &weights, 10.0);
+        let got: f64 = u.iter().map(|v| weights[v as usize]).sum();
+        assert!((got - 10.0).abs() <= 5.0);
+    }
+
+    #[test]
+    fn axis_splitter_on_grid() {
+        let grid = mmb_graph::gen::grid::GridGraph::lattice(&[4, 4]);
+        let sp = OrderSplitter::by_axis(&grid, 1);
+        let w = VertexSet::full(16);
+        let weights = vec![1.0; 16];
+        let u = sp.split(&w, &weights, 8.0);
+        assert!(check_split(&w, &u, &weights, 8.0).holds());
+        // A half-plane cut of the 4×4 grid cuts exactly 4 unit edges.
+        let costs = vec![1.0; grid.graph.num_edges()];
+        assert_eq!(boundary_cost_within(&grid.graph, &costs, &w, &u), 4.0);
+    }
+}

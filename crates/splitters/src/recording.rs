@@ -1,0 +1,111 @@
+//! Instrumentation wrapper: records how a splitter is exercised.
+//!
+//! The running-time and quality analyses of Theorem 4 are phrased in terms
+//! of the number and cost of splitting-set computations; the harness wraps
+//! splitters in a [`RecordingSplitter`] to measure exactly those quantities.
+
+use std::cell::{Cell, RefCell};
+
+use mmb_graph::cut::boundary_cost_within;
+use mmb_graph::{Graph, VertexSet};
+
+use crate::Splitter;
+
+/// Statistics gathered by [`RecordingSplitter`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SplitStats {
+    /// Number of `split` calls.
+    pub calls: u64,
+    /// Total vertices across all queried subsets (∝ the paper's `t(|G[W]|)`).
+    pub total_subset_size: u64,
+    /// Sum of relative boundary costs `∂_W U` of all returned sets.
+    pub total_cut_cost: f64,
+    /// Maximum relative boundary cost of a returned set.
+    pub max_cut_cost: f64,
+}
+
+/// Wraps a splitter and records call counts and cut costs.
+pub struct RecordingSplitter<'a, S: Splitter> {
+    inner: S,
+    graph: &'a Graph,
+    costs: &'a [f64],
+    calls: Cell<u64>,
+    total_subset_size: Cell<u64>,
+    cut: RefCell<(f64, f64)>, // (total, max)
+}
+
+impl<'a, S: Splitter> RecordingSplitter<'a, S> {
+    /// Wrap `inner`, measuring cut costs against `(graph, costs)`.
+    pub fn new(inner: S, graph: &'a Graph, costs: &'a [f64]) -> Self {
+        assert_eq!(graph.num_edges(), costs.len(), "cost vector length mismatch");
+        Self {
+            inner,
+            graph,
+            costs,
+            calls: Cell::new(0),
+            total_subset_size: Cell::new(0),
+            cut: RefCell::new((0.0, 0.0)),
+        }
+    }
+
+    /// Snapshot of the collected statistics.
+    pub fn stats(&self) -> SplitStats {
+        let (total, max) = *self.cut.borrow();
+        SplitStats {
+            calls: self.calls.get(),
+            total_subset_size: self.total_subset_size.get(),
+            total_cut_cost: total,
+            max_cut_cost: max,
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.calls.set(0);
+        self.total_subset_size.set(0);
+        *self.cut.borrow_mut() = (0.0, 0.0);
+    }
+}
+
+impl<S: Splitter> Splitter for RecordingSplitter<'_, S> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let u = self.inner.split(w_set, weights, target);
+        self.calls.set(self.calls.get() + 1);
+        self.total_subset_size
+            .set(self.total_subset_size.get() + w_set.len() as u64);
+        let cost = boundary_cost_within(self.graph, self.costs, w_set, &u);
+        let mut cut = self.cut.borrow_mut();
+        cut.0 += cost;
+        cut.1 = cut.1.max(cost);
+        u
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderSplitter;
+    use mmb_graph::gen::misc::path;
+
+    #[test]
+    fn records_calls_and_costs() {
+        let g = path(10);
+        let costs = vec![1.0; 9];
+        let rec = RecordingSplitter::new(OrderSplitter::by_id(&g), &g, &costs);
+        let w = VertexSet::full(10);
+        let weights = vec![1.0; 10];
+        let _ = rec.split(&w, &weights, 5.0);
+        let _ = rec.split(&w, &weights, 2.0);
+        let s = rec.stats();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_subset_size, 20);
+        assert!(s.total_cut_cost >= 2.0 - 1e-9); // each prefix cuts one unit edge
+        assert!(s.max_cut_cost <= 1.0 + 1e-9);
+        rec.reset();
+        assert_eq!(rec.stats(), SplitStats::default());
+    }
+}

@@ -1,0 +1,181 @@
+//! Splitting sets for forests.
+//!
+//! Trees are the simplest nontrivial family with good splitting sets: a DFS
+//! preorder that always descends into the **smallest** child subtree first
+//! has the property that every preorder prefix cuts `O(Δ·log|W|)` edges.
+//! (At any moment, each DFS-stack vertex that still has an unvisited child
+//! is exploring a child no larger than that unvisited subtree, so the
+//! subtree sizes along the stack at such vertices at least double going up —
+//! there are at most `log₂|W|` of them, each contributing ≤ Δ frontier
+//! edges.) This matches the `Θ(log n)` balanced-cut lower bound of complete
+//! binary trees up to the `Δ` factor.
+
+use mmb_graph::{Graph, VertexId, VertexSet};
+
+use crate::{prefix_split, Splitter};
+
+/// Smallest-subtree-first DFS prefix splitter for forests.
+pub struct TreeSplitter<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> TreeSplitter<'g> {
+    /// Bind to a forest.
+    ///
+    /// # Panics
+    /// Panics if `graph` contains a cycle.
+    pub fn new(graph: &'g Graph) -> Self {
+        let (_, components) = graph.components();
+        assert_eq!(
+            graph.num_edges() + components,
+            graph.num_vertices(),
+            "TreeSplitter requires a forest"
+        );
+        Self { graph }
+    }
+
+    /// Smallest-subtree-first preorder of the forest induced by `W`.
+    pub fn preorder(&self, w_set: &VertexSet) -> Vec<VertexId> {
+        let n = self.graph.num_vertices();
+        let mut order = Vec::with_capacity(w_set.len());
+        let mut visited = VertexSet::empty(n);
+        let mut subtree = vec![0u32; n];
+
+        for root in w_set.iter() {
+            if visited.contains(root) {
+                continue;
+            }
+            // Pass 1: subtree sizes via iterative post-order.
+            let mut stack = vec![(root, root, false)]; // (vertex, parent, expanded)
+            while let Some((v, parent, expanded)) = stack.pop() {
+                if expanded {
+                    let mut size = 1u32;
+                    for &(nb, _) in self.graph.neighbors(v) {
+                        if nb != parent && w_set.contains(nb) {
+                            size += subtree[nb as usize];
+                        }
+                    }
+                    subtree[v as usize] = size;
+                } else {
+                    stack.push((v, parent, true));
+                    for &(nb, _) in self.graph.neighbors(v) {
+                        if nb != parent && w_set.contains(nb) {
+                            stack.push((nb, v, false));
+                        }
+                    }
+                }
+            }
+            // Pass 2: preorder, smallest child subtree first.
+            let mut stack = vec![(root, root)];
+            visited.insert(root);
+            while let Some((v, parent)) = stack.pop() {
+                order.push(v);
+                let mut children: Vec<VertexId> = self
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(nb, _)| nb != parent && w_set.contains(nb))
+                    .map(|&(nb, _)| nb)
+                    .collect();
+                // Stack pops in reverse, so push the largest first to visit
+                // the smallest subtree first.
+                children.sort_unstable_by_key(|&c| std::cmp::Reverse(subtree[c as usize]));
+                for c in children {
+                    visited.insert(c);
+                    stack.push((c, v));
+                }
+            }
+        }
+        order
+    }
+}
+
+impl Splitter for TreeSplitter<'_> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        let order = self.preorder(w_set);
+        prefix_split(self.graph.num_vertices(), &order, weights, target)
+    }
+
+    fn name(&self) -> &str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::check_split;
+    use mmb_graph::cut::cut_size_within;
+    use mmb_graph::gen::tree::{caterpillar, complete_binary_tree, random_tree};
+
+    #[test]
+    fn contract_on_binary_tree() {
+        let g = complete_binary_tree(6); // 63 vertices
+        let sp = TreeSplitter::new(&g);
+        let w = VertexSet::full(63);
+        let weights: Vec<f64> = (0..63).map(|v| 1.0 + (v % 4) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        for frac in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let target = frac * total;
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds(), "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_cut_on_binary_tree() {
+        // Split a complete binary tree in half: the preorder prefix must cut
+        // O(Δ·log n) = O(3·levels) edges.
+        let levels = 12;
+        let g = complete_binary_tree(levels); // 4095 vertices
+        let n = g.num_vertices();
+        let sp = TreeSplitter::new(&g);
+        let w = VertexSet::full(n);
+        let weights = vec![1.0; n];
+        let u = sp.split(&w, &weights, n as f64 / 2.0);
+        assert!(check_split(&w, &u, &weights, n as f64 / 2.0).holds());
+        let cut = cut_size_within(&g, &w, &u);
+        let bound = 3 * (levels as usize + 1);
+        assert!(cut <= bound, "cut {cut} exceeds O(Δ log n) bound {bound}");
+    }
+
+    #[test]
+    fn caterpillar_cuts_are_constant() {
+        // Smallest-first visits legs before advancing the spine, so any
+        // prefix cuts O(Δ) edges.
+        let g = caterpillar(100, 3);
+        let n = g.num_vertices();
+        let sp = TreeSplitter::new(&g);
+        let w = VertexSet::full(n);
+        let weights = vec![1.0; n];
+        for frac in [0.25, 0.5, 0.75] {
+            let target = frac * n as f64;
+            let u = sp.split(&w, &weights, target);
+            assert!(check_split(&w, &u, &weights, target).holds());
+            let cut = cut_size_within(&g, &w, &u);
+            assert!(cut <= 6, "caterpillar prefix cut {cut} too large");
+        }
+    }
+
+    #[test]
+    fn works_on_sub_forests() {
+        let g = random_tree(300, 4, 5);
+        let n = g.num_vertices();
+        let sp = TreeSplitter::new(&g);
+        // An arbitrary subset induces a forest with many components.
+        let w = VertexSet::from_iter(n, (0..n as u32).filter(|v| v % 7 != 0));
+        let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
+        let wsum: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let u = sp.split(&w, &weights, wsum * 0.4);
+        assert!(check_split(&w, &u, &weights, wsum * 0.4).holds());
+        let order = sp.preorder(&w);
+        assert_eq!(order.len(), w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "forest")]
+    fn rejects_cyclic_graphs() {
+        let g = mmb_graph::gen::misc::cycle(5);
+        let _ = TreeSplitter::new(&g);
+    }
+}

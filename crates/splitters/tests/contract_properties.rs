@@ -1,0 +1,127 @@
+//! Property tests: every splitter honors the Definition-3 contract on
+//! arbitrary subsets, weights, and targets.
+
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::tree::random_tree;
+use mmb_graph::VertexSet;
+use mmb_splitters::adversarial::AdversarialSplitter;
+use mmb_splitters::bfs::BfsSplitter;
+use mmb_splitters::contract::check_split;
+use mmb_splitters::grid::{is_monotone_in, GridSplitter};
+use mmb_splitters::order::OrderSplitter;
+use mmb_splitters::separator::{SeparatorSplitter, TreeCentroidSeparator};
+use mmb_splitters::tree::TreeSplitter;
+use mmb_splitters::Splitter;
+use proptest::prelude::*;
+
+fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, n..=n)
+}
+
+fn subset_from_mask(n: usize, mask: u64) -> VertexSet {
+    VertexSet::from_iter(n, (0..n as u32).filter(|v| (mask >> (v % 64)) & 1 == 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_splitter_contract(
+        side in 2usize..9,
+        mask in any::<u64>(),
+        weights_seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+        cost_scale in 0.1f64..100.0,
+    ) {
+        let grid = GridGraph::lattice(&[side, side]);
+        let n = grid.graph.num_vertices();
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| cost_scale * (1.0 + (e % 9) as f64))
+            .collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = subset_from_mask(n, mask | 1);
+        let weights: Vec<f64> = (0..n)
+            .map(|v| ((weights_seed >> (v % 48)) & 7) as f64)
+            .collect();
+        let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let target = frac * total;
+        let u = sp.split(&w, &weights, target);
+        prop_assert!(check_split(&w, &u, &weights, target).holds());
+    }
+
+    #[test]
+    fn grid_splitter_monotone(
+        side in 3usize..8,
+        frac in 0.05f64..0.95,
+    ) {
+        // Lemma 24 on the full lattice with varied targets.
+        let grid = GridGraph::lattice(&[side, side]);
+        let n = grid.graph.num_vertices();
+        let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 5) as f64).collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let w = VertexSet::full(n);
+        let weights = vec![1.0; n];
+        let u = sp.split(&w, &weights, frac * n as f64);
+        prop_assert!(is_monotone_in(&grid, &u, &w));
+    }
+
+    #[test]
+    fn tree_splitter_contract(
+        n in 2usize..120,
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+        frac in 0.0f64..1.0,
+        weights in arb_weights(120),
+    ) {
+        let g = random_tree(n, 3, seed);
+        let sp = TreeSplitter::new(&g);
+        let w = subset_from_mask(n, mask | 1);
+        let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let target = frac * total;
+        let u = sp.split(&w, &weights, target);
+        prop_assert!(check_split(&w, &u, &weights, target).holds());
+    }
+
+    #[test]
+    fn separator_splitter_contract(
+        n in 2usize..100,
+        seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+        weights in arb_weights(100),
+    ) {
+        let g = random_tree(n, 4, seed);
+        let costs: Vec<f64> = (0..g.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
+        let sp = SeparatorSplitter::new(&g, &costs, TreeCentroidSeparator::new(&g), 2.0);
+        let w = VertexSet::full(n);
+        let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let target = frac * total;
+        let u = sp.split(&w, &weights, target);
+        prop_assert!(check_split(&w, &u, &weights, target).holds());
+    }
+
+    #[test]
+    fn order_bfs_adversarial_contract(
+        side in 2usize..8,
+        mask in any::<u64>(),
+        frac in 0.0f64..1.0,
+        weights in arb_weights(64),
+    ) {
+        let grid = GridGraph::lattice(&[side, side]);
+        let n = grid.graph.num_vertices();
+        let w = subset_from_mask(n, mask | 1);
+        let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
+        let target = frac * total;
+        let splitters: Vec<Box<dyn Splitter>> = vec![
+            Box::new(OrderSplitter::by_axis(&grid, 0)),
+            Box::new(BfsSplitter::new(&grid.graph)),
+            Box::new(AdversarialSplitter::new(n, mask)),
+        ];
+        for sp in &splitters {
+            let u = sp.split(&w, &weights, target);
+            prop_assert!(
+                check_split(&w, &u, &weights, target).holds(),
+                "{} violated the contract", sp.name()
+            );
+        }
+    }
+}

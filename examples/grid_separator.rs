@@ -1,0 +1,55 @@
+//! GridSplit demo (Section 6, Theorem 19): splitting grids with highly
+//! fluctuating edge costs, versus the naive cost-blind splitter.
+//!
+//! Two arrangements are shown:
+//! * an expensive **wall** of edges placed exactly at the weight median —
+//!   the adversarial case where the naive `σ_p(G,1)·φ` generalization pays
+//!   `Θ(φ)` while GridSplit dodges the wall;
+//! * **iid** two-level noise — no spatial structure to exploit, so the two
+//!   splitters are on par (and both far under the Theorem 19 bound).
+//!
+//! ```text
+//! cargo run --release -p mmb-bench --example grid_separator
+//! ```
+
+use mmb_bench::experiments::wall_costs;
+use mmb_graph::cut::boundary_cost_within;
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::measure::total_edge_norm_p;
+use mmb_graph::VertexSet;
+use mmb_instances::costs::CostFamily;
+use mmb_splitters::grid::{theorem19_bound, GridSplitter};
+use mmb_splitters::Splitter;
+
+fn main() {
+    let side = 48usize;
+    let grid = GridGraph::lattice(&[side, side]);
+    let n = grid.graph.num_vertices();
+    let w = VertexSet::full(n);
+    let weights = vec![1.0; n];
+    println!("bisecting a {side}×{side} grid, sweeping cost fluctuation φ (p = 2):\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>8} {:>14}",
+        "arrangement", "φ", "aware cut", "blind cut", "ratio", "Thm19 bound"
+    );
+    for phi in [1.0, 10.0, 1e3, 1e6] {
+        for (label, costs) in [
+            ("median wall", wall_costs(&grid, side, phi, 2)),
+            ("iid twolevel", CostFamily::TwoLevel.generate(&grid, phi, 7)),
+        ] {
+            let aware = GridSplitter::new(&grid, &costs);
+            let blind = GridSplitter::unit_cost(&grid);
+            let ua = aware.split(&w, &weights, n as f64 / 2.0);
+            let ub = blind.split(&w, &weights, n as f64 / 2.0);
+            let ca = boundary_cost_within(&grid.graph, &costs, &w, &ua);
+            let cb = boundary_cost_within(&grid.graph, &costs, &w, &ub);
+            let bound = theorem19_bound(2, phi, total_edge_norm_p(&grid.graph, &costs, 2.0));
+            println!(
+                "{label:<14} {phi:>10.0} {ca:>12.1} {cb:>12.1} {:>8.1} {bound:>14.1}",
+                cb / ca
+            );
+        }
+    }
+    println!("\non the wall arrangement the cost-blind splitter pays Θ(φ·side) while");
+    println!("GridSplit stays near the unit-cost optimum — Theorem 19 in action.");
+}

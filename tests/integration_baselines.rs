@@ -1,0 +1,132 @@
+//! Integration of the §1 comparison (E7): each baseline exhibits exactly
+//! the weakness the paper ascribes to it, and the Theorem 4 pipeline
+//! exhibits neither.
+
+use mmb_baselines::greedy::{first_fit, lpt, round_robin};
+use mmb_baselines::kl::{refine, KlParams};
+use mmb_baselines::multilevel::{multilevel, MultilevelParams};
+use mmb_baselines::recursive_bisection::{recursive_bisection, recursive_bisection_kst};
+use mmb_core::prelude::*;
+use mmb_instances::climate::{climate, ClimateParams};
+use mmb_instances::weights::WeightFamily;
+use mmb_splitters::grid::GridSplitter;
+
+#[test]
+fn greedy_balances_but_cuts_everything() {
+    // Flat weights on the climate mesh: greedy is strictly balanced but its
+    // boundary is within a constant of "cut every edge".
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let n = g.num_vertices();
+    let k = 8;
+    let flat = vec![1.0; n];
+    let chi = first_fit(n, k, &flat);
+    assert!(chi.is_strictly_balanced(&flat));
+    let total_cost: f64 = wl.costs.iter().sum();
+    let avg_boundary = chi.avg_boundary_cost(g, &wl.costs);
+    // Greedy interleaves ids, so classes are scattered: per-class boundary
+    // approaches 2·total/k.
+    assert!(
+        avg_boundary > 0.5 * total_cost / k as f64,
+        "greedy unexpectedly cheap: {avg_boundary} vs total {total_cost}"
+    );
+}
+
+#[test]
+fn ours_beats_greedy_on_boundary_and_rb_on_balance() {
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let n = g.num_vertices();
+    let k = 12;
+    let sp = GridSplitter::new(&wl.grid, &wl.costs);
+
+    let ours = decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
+        .unwrap();
+    let greedy = lpt(n, k, &wl.weights);
+    let rb = recursive_bisection(g, &sp, &wl.weights, k);
+
+    // (a) ours is strictly balanced; (b) far cheaper boundary than greedy;
+    // (c) within a constant factor of RB's boundary despite strictness.
+    assert!(ours.coloring.is_strictly_balanced(&wl.weights));
+    let ours_max = ours.max_boundary();
+    let greedy_max = greedy.max_boundary_cost(g, &wl.costs);
+    let rb_max = rb.max_boundary_cost(g, &wl.costs);
+    assert!(
+        ours_max < 0.8 * greedy_max,
+        "ours {ours_max} should clearly beat greedy {greedy_max}"
+    );
+    assert!(
+        ours_max <= 6.0 * rb_max,
+        "ours {ours_max} should be within a constant of RB {rb_max}"
+    );
+}
+
+#[test]
+fn rb_is_not_strict_under_adversarial_weights() {
+    // Spike weights break recursive bisection's balance (it has no
+    // strictness mechanism), while the pipeline stays exact.
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let n = g.num_vertices();
+    let k = 16;
+    let weights = WeightFamily::Spike.generate(n, 4);
+    let sp = GridSplitter::new(&wl.grid, &wl.costs);
+    let rb = recursive_bisection(g, &sp, &weights, k);
+    let ours = decompose(g, &wl.costs, &weights, k, &sp, &[], &PipelineConfig::default())
+        .unwrap();
+    assert!(ours.coloring.is_strictly_balanced(&weights));
+    // RB typically violates eq. (1) here; we only require that *if* it
+    // does, ours still doesn't (no flaky assertion on RB's exact defect).
+    let rb_defect = rb.strict_balance_defect(&weights);
+    let ours_defect = ours.coloring.strict_balance_defect(&weights);
+    assert!(ours_defect <= 1e-6, "ours defect {ours_defect}");
+    assert!(
+        ours_defect <= rb_defect + 1e-6,
+        "ours ({ours_defect}) should never be less balanced than RB ({rb_defect})"
+    );
+}
+
+#[test]
+fn kl_improves_rb_without_destroying_it() {
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let k = 8;
+    let sp = GridSplitter::new(&wl.grid, &wl.costs);
+    let rb = recursive_bisection(g, &sp, &wl.weights, k);
+    let refined = refine(g, &wl.costs, &wl.weights, &rb, &KlParams::default());
+    let total = |chi: &mmb_graph::Coloring| {
+        chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()
+    };
+    assert!(total(&refined) <= total(&rb) + 1e-9);
+    assert!(refined.is_total());
+}
+
+#[test]
+fn kst_variant_tracks_costs() {
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let k = 8;
+    let sp = GridSplitter::new(&wl.grid, &wl.costs);
+    let kst = recursive_bisection_kst(g, &wl.costs, &sp, &wl.weights, k);
+    assert!(kst.is_total());
+    // Sane boundary: within a constant of plain RB.
+    let rb = recursive_bisection(g, &sp, &wl.weights, k);
+    let kst_avg = kst.avg_boundary_cost(g, &wl.costs);
+    let rb_avg = rb.avg_boundary_cost(g, &wl.costs);
+    assert!(kst_avg <= 3.0 * rb_avg, "kst {kst_avg} vs rb {rb_avg}");
+}
+
+#[test]
+fn multilevel_and_round_robin_extremes() {
+    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let g = &wl.grid.graph;
+    let n = g.num_vertices();
+    let k = 8;
+    let ml = multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default());
+    let rr = round_robin(n, k);
+    // Multilevel crushes round-robin on total cut.
+    let total = |chi: &mmb_graph::Coloring| {
+        chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()
+    };
+    assert!(total(&ml) < 0.5 * total(&rr));
+}
