@@ -81,10 +81,7 @@ pub fn binpack1<S: Splitter + ?Sized>(
     }
 
     // Step 3: refill colors that are far below the average.
-    loop {
-        let Some(i) = (0..k).find(|&i| cw(&classes[i]) + w1[i] < w_star - 2.0 * wmax) else {
-            break;
-        };
+    while let Some(i) = (0..k).find(|&i| cw(&classes[i]) + w1[i] < w_star - 2.0 * wmax) {
         let Some(x) = buffer.pop() else {
             break; // precondition violated; BinPack2 restores strictness later
         };

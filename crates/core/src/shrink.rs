@@ -165,6 +165,7 @@ pub struct ShrinkOutput {
 /// buffer, `AddTo` underweight classes from the buffer (or from wealthy
 /// donors, Corollary 17), `ReduceBuffer` leftovers onto light classes, then
 /// extract one rich layer `X_i` per class (Corollary 18) to form `χ₀`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure parameters
 pub fn shrink<S: Splitter + ?Sized>(
     g: &Graph,
     costs: &[f64],
@@ -196,10 +197,7 @@ pub fn shrink<S: Splitter + ?Sized>(
     let mut buffer: Vec<VertexSet> = Vec::new();
 
     // CutDown: classes above M/2·Ψ* shed lean pieces of weight ≈ ε·Ψ*.
-    loop {
-        let Some(i) = (0..k).find(|&i| class_w(&classes[i]) > m_cap / 2.0 * psi_star) else {
-            break;
-        };
+    while let Some(i) = (0..k).find(|&i| class_w(&classes[i]) > m_cap / 2.0 * psi_star) {
         let bm = boundary_measure(g, costs, &classes[i]);
         let protected: [&[f64]; 3] = [&pi, &deg_w, &bm];
         let x = extract_lean(splitter, &classes[i], weights, &protected, eps * psi_star);
@@ -275,6 +273,7 @@ pub fn shrink<S: Splitter + ?Sized>(
 /// Proposition 11: transform a weakly `w`-balanced coloring of `domain`
 /// into an **almost strictly balanced** one (every class within `2·‖w‖_∞`
 /// of the average) without blowing up boundary or splitting costs.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure parameters
 pub fn almost_strict<S: Splitter + ?Sized>(
     g: &Graph,
     costs: &[f64],

@@ -81,11 +81,11 @@ pub fn binpack2<S: Splitter + ?Sized>(
     let mut buffer: Vec<VertexSet> = Vec::new();
 
     // Step 2: cut every class down to ≤ w*.
-    for i in 0..k {
-        while cw(&classes[i]) > w_star + 1e-12 * total && !classes[i].is_empty() {
-            let x = carve_piece(g, splitter, &classes[i], weights, wmax);
+    for class in &mut classes {
+        while cw(class) > w_star + 1e-12 * total && !class.is_empty() {
+            let x = carve_piece(g, splitter, class, weights, wmax);
             debug_assert!(!x.is_empty());
-            classes[i].difference_with(&x);
+            class.difference_with(&x);
             buffer.push(x);
         }
     }
@@ -94,10 +94,7 @@ pub fn binpack2<S: Splitter + ?Sized>(
     // averaging argument (see module docs) guarantees the buffer cannot be
     // empty while such a class exists.
     let lower = w_star - (1.0 - 1.0 / k as f64) * wmax;
-    loop {
-        let Some(i) = (0..k).find(|&i| cw(&classes[i]) < lower - 1e-12 * (1.0 + total)) else {
-            break;
-        };
+    while let Some(i) = (0..k).find(|&i| cw(&classes[i]) < lower - 1e-12 * (1.0 + total)) {
         let Some(x) = buffer.pop() else {
             debug_assert!(false, "BinPack2 invariant violated: empty buffer with light class");
             break;

@@ -1,0 +1,35 @@
+//! # mmb — min-max boundary decomposition of weighted graphs
+//!
+//! Facade crate for the workspace reproducing
+//!
+//! > David Steurer, *Tight Bounds on the Min-Max Boundary Decomposition
+//! > Cost of Weighted Graphs*, SPAA 2006 (arXiv `cs/0606001`).
+//!
+//! It re-exports the six member crates under one roof so downstream users
+//! (and this repo's own `examples/` and `tests/`) can depend on a single
+//! package. See `README.md` for the crate map and `DESIGN.md` for the
+//! experiment index.
+//!
+//! ```
+//! use mmb::graph::gen::grid::GridGraph;
+//! use mmb::core::{decompose, PipelineConfig};
+//! use mmb::splitters::grid::GridSplitter;
+//!
+//! let grid = GridGraph::lattice(&[8, 8]);
+//! let costs = vec![1.0; grid.graph.num_edges()];
+//! let weights = vec![1.0; grid.graph.num_vertices()];
+//! let sp = GridSplitter::new(&grid, &costs);
+//! let d = decompose(&grid.graph, &costs, &weights, 4, &sp, &[], &PipelineConfig::default())
+//!     .unwrap();
+//! assert!(d.coloring.is_strictly_balanced(&weights));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mmb_baselines as baselines;
+pub use mmb_bench as bench;
+pub use mmb_core as core;
+pub use mmb_graph as graph;
+pub use mmb_instances as instances;
+pub use mmb_splitters as splitters;

@@ -75,14 +75,14 @@ fn rb_is_not_strict_under_adversarial_weights() {
     let ours = decompose(g, &wl.costs, &weights, k, &sp, &[], &PipelineConfig::default())
         .unwrap();
     assert!(ours.coloring.is_strictly_balanced(&weights));
-    // RB typically violates eq. (1) here; we only require that *if* it
-    // does, ours still doesn't (no flaky assertion on RB's exact defect).
+    // RB has no strictness mechanism, so its defect is unconstrained (its
+    // sign depends on the RNG stream — asserting on it is flaky). The
+    // property is one-sided: the pipeline must stay exact regardless.
     let rb_defect = rb.strict_balance_defect(&weights);
     let ours_defect = ours.coloring.strict_balance_defect(&weights);
-    assert!(ours_defect <= 1e-6, "ours defect {ours_defect}");
     assert!(
-        ours_defect <= rb_defect + 1e-6,
-        "ours ({ours_defect}) should never be less balanced than RB ({rb_defect})"
+        ours_defect <= 1e-6,
+        "ours defect {ours_defect} (RB defect for reference: {rb_defect})"
     );
 }
 

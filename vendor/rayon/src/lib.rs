@@ -1,0 +1,118 @@
+//! Offline, **sequential** stand-in for the subset of the [`rayon`] API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so `par_iter`-style
+//! calls resolve to this shim and execute on the calling thread. The API
+//! mirrors rayon's shape (`into_par_iter().map(..).reduce(identity, op)`) so
+//! that swapping in the real crate later is a one-line `Cargo.toml` change —
+//! no call sites move.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+/// Everything call sites need in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
+/// exposing rayon-shaped combinators.
+pub struct ParIter<I>(I);
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wrap `self` in a [`ParIter`]. Sequential in this shim.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate over `&self`. Sequential in this shim.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item. See [`Iterator::map`].
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<core::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items satisfying `pred`. See [`Iterator::filter`].
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<core::iter::Filter<I, F>> {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Rayon-shaped reduce: fold from `identity()` with `op`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        Op: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collect into any [`FromIterator`] collection.
+    pub fn collect<B: FromIterator<I::Item>>(self) -> B {
+        self.0.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let got = (0u32..100)
+            .into_par_iter()
+            .map(|x| x as f64)
+            .reduce(|| f64::INFINITY, f64::min);
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 12);
+    }
+
+    #[test]
+    fn filter_collect() {
+        let evens: Vec<u32> = (0u32..10).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+}
