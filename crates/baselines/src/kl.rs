@@ -6,6 +6,7 @@
 //! balance tightness or per-class boundary — which is exactly what the E7
 //! comparison demonstrates against the Theorem 4 pipeline.
 
+use mmb_core::api::{validate_costs, validate_weights, SolveError};
 use mmb_graph::{Coloring, Graph};
 
 /// Refinement parameters.
@@ -30,14 +31,14 @@ pub fn refine(
     weights: &[f64],
     chi: &Coloring,
     params: &KlParams,
-) -> Coloring {
+) -> Result<Coloring, SolveError> {
     let n = g.num_vertices();
     let k = chi.k();
-    assert_eq!(weights.len(), n);
-    assert_eq!(costs.len(), g.num_edges());
+    validate_weights(n, weights)?;
+    validate_costs(g.num_edges(), costs)?;
     let mut out = chi.clone();
     if k <= 1 {
-        return out;
+        return Ok(out);
     }
     let total_w: f64 = (0..n)
         .filter(|&v| out.get(v as u32).is_some())
@@ -86,7 +87,7 @@ pub fn refine(
             break;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -106,7 +107,7 @@ mod tests {
         let weights = vec![1.0; 40];
         // Worst possible start: alternating colors.
         let bad = Coloring::from_fn(40, 2, |v| v % 2);
-        let refined = refine(&g, &costs, &weights, &bad, &KlParams::default());
+        let refined = refine(&g, &costs, &weights, &bad, &KlParams::default()).unwrap();
         assert!(refined.is_total());
         let before = total_cut(&g, &costs, &bad);
         let after = total_cut(&g, &costs, &refined);
@@ -121,7 +122,7 @@ mod tests {
         let weights = vec![1.0; n];
         let start = Coloring::from_fn(n, 4, |v| v % 4);
         let params = KlParams { max_passes: 20, balance_factor: 1.25 };
-        let refined = refine(&grid.graph, &costs, &weights, &start, &params);
+        let refined = refine(&grid.graph, &costs, &weights, &start, &params).unwrap();
         let cap = 1.25 * n as f64 / 4.0;
         for c in refined.class_measures(&weights) {
             assert!(c <= cap + 1e-9, "class exceeds envelope: {c} > {cap}");
@@ -135,7 +136,7 @@ mod tests {
         let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
         let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
         let start = Coloring::from_fn(n, 5, |v| (v / 20) % 5);
-        let refined = refine(&grid.graph, &costs, &weights, &start, &KlParams::default());
+        let refined = refine(&grid.graph, &costs, &weights, &start, &KlParams::default()).unwrap();
         assert!(
             total_cut(&grid.graph, &costs, &refined)
                 <= total_cut(&grid.graph, &costs, &start) + 1e-9
@@ -146,7 +147,7 @@ mod tests {
     fn k1_noop() {
         let g = path(5);
         let chi = Coloring::monochromatic(5, 1);
-        let refined = refine(&g, &[1.0; 4], &[1.0; 5], &chi, &KlParams::default());
+        let refined = refine(&g, &[1.0; 4], &[1.0; 5], &chi, &KlParams::default()).unwrap();
         assert_eq!(refined, chi);
     }
 }

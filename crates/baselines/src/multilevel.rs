@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use mmb_core::api::{validate_costs, validate_weights, Instance, Partitioner, SolveError};
 use mmb_graph::{Coloring, Graph, GraphBuilder, VertexId};
 use mmb_splitters::bfs::BfsSplitter;
 use rand::rngs::StdRng;
@@ -61,10 +62,12 @@ pub fn multilevel(
     weights: &[f64],
     k: usize,
     params: &MultilevelParams,
-) -> Coloring {
-    assert!(k >= 1);
-    assert_eq!(weights.len(), g.num_vertices());
-    assert_eq!(costs.len(), g.num_edges());
+) -> Result<Coloring, SolveError> {
+    if k == 0 {
+        return Err(SolveError::ZeroColors);
+    }
+    validate_weights(g.num_vertices(), weights)?;
+    validate_costs(g.num_edges(), costs)?;
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // Coarsening phase.
@@ -89,10 +92,12 @@ pub fn multilevel(
         });
     }
 
-    // Initial partition on the coarsest graph.
+    // Initial partition on the coarsest graph. The inner calls only see
+    // already-validated, internally consistent data, so errors cannot
+    // occur here.
     let bfs = BfsSplitter::new(&cur_graph);
-    let mut chi = recursive_bisection(&cur_graph, &bfs, &cur_weights, k);
-    chi = refine(&cur_graph, &cur_costs, &cur_weights, &chi, &params.kl);
+    let mut chi = recursive_bisection(&cur_graph, &bfs, &cur_weights, k)?;
+    chi = refine(&cur_graph, &cur_costs, &cur_weights, &chi, &params.kl)?;
 
     // Uncoarsening with per-level refinement.
     while let Some(level) = levels.pop() {
@@ -102,9 +107,26 @@ pub fn multilevel(
                 fine.set(v, c);
             }
         }
-        chi = refine(&level.graph, &level.costs, &level.weights, &fine, &params.kl);
+        chi = refine(&level.graph, &level.costs, &level.weights, &fine, &params.kl)?;
     }
-    chi
+    Ok(chi)
+}
+
+/// [`multilevel`] as a [`Partitioner`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Multilevel {
+    /// Coarsening/refinement parameters applied to every call.
+    pub params: MultilevelParams,
+}
+
+impl Partitioner for Multilevel {
+    fn name(&self) -> &str {
+        "multilevel"
+    }
+
+    fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
+        multilevel(inst.graph(), inst.costs(), inst.weights(), k, &self.params)
+    }
 }
 
 /// Heavy-edge matching: returns (fine → coarse map, coarse vertex count).
@@ -196,7 +218,7 @@ mod tests {
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; n];
         let k = 4;
-        let chi = multilevel(&grid.graph, &costs, &weights, k, &MultilevelParams::default());
+        let chi = multilevel(&grid.graph, &costs, &weights, k, &MultilevelParams::default()).unwrap();
         assert!(chi.is_total());
         // Loose balance.
         let cm = chi.class_measures(&weights);
@@ -222,7 +244,7 @@ mod tests {
         }
         let n = grid.graph.num_vertices();
         let weights = vec![1.0; n];
-        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default());
+        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default()).unwrap();
         let cut: f64 = chi.boundary_costs(&grid.graph, &costs).iter().sum::<f64>() / 2.0;
         assert!(cut < 500.0, "multilevel cut through the expensive column: {cut}");
     }
@@ -233,8 +255,8 @@ mod tests {
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; 100];
         let p = MultilevelParams { seed: 7, ..Default::default() };
-        let a = multilevel(&grid.graph, &costs, &weights, 3, &p);
-        let b = multilevel(&grid.graph, &costs, &weights, 3, &p);
+        let a = multilevel(&grid.graph, &costs, &weights, 3, &p).unwrap();
+        let b = multilevel(&grid.graph, &costs, &weights, 3, &p).unwrap();
         assert_eq!(a, b);
     }
 
@@ -243,7 +265,7 @@ mod tests {
         let grid = GridGraph::lattice(&[2, 2]);
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; 4];
-        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default());
+        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default()).unwrap();
         assert!(chi.is_total());
     }
 }

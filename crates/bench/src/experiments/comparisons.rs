@@ -1,16 +1,22 @@
 //! Experiments E4, E7–E12: lower bounds, baseline comparisons, ablations.
+//!
+//! The comparison experiments (E4, E7, E10) iterate algorithms through the
+//! [`Partitioner`] interface, so "ours vs baselines" is literally one loop
+//! over `&[&dyn Partitioner]` on a shared [`Instance`].
 
-use mmb_baselines::greedy::{first_fit, lpt};
+use mmb_baselines::greedy::{FirstFit, Lpt};
 use mmb_baselines::kl::{refine, KlParams};
-use mmb_baselines::multilevel::{multilevel, MultilevelParams};
-use mmb_baselines::recursive_bisection::{recursive_bisection, recursive_bisection_kst};
+use mmb_baselines::multilevel::Multilevel;
+use mmb_baselines::recursive_bisection::{recursive_bisection, RecursiveBisection};
+use mmb_core::api::{
+    auto_splitter, Instance, Partitioner, SolveError, Solver, Theorem4Pipeline,
+};
 use mmb_core::bounds;
-use mmb_core::pipeline::{decompose, PipelineConfig};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::gen::tree::complete_binary_tree;
 use mmb_graph::measure::{norm_1, total_edge_norm_p};
-use mmb_graph::{Coloring, Graph, VertexSet};
-use mmb_instances::climate::{climate, ClimateParams};
+use mmb_graph::{Coloring, VertexSet};
+use mmb_instances::climate::{climate, ClimateParams, ClimateWorkload};
 use mmb_instances::costs::CostFamily;
 use mmb_instances::tight::TightInstance;
 use mmb_splitters::grid::{theorem19_bound, GridSplitter};
@@ -21,13 +27,44 @@ use mmb_splitters::tree::TreeSplitter;
 use mmb_splitters::Splitter;
 
 use crate::table::Table;
-use crate::{fmt, score, timed};
+use crate::{fmt, run_scored};
 
 /// Build the GridGraph twin of a `TightInstance::grid` union so GridSplit
 /// can drive our pipeline on it (same ids: copy-major, then base id).
 fn tight_grid_twin(side: usize, k: usize) -> GridGraph {
     let base = GridGraph::lattice(&[side, side]);
     GridGraph::disjoint_copies(&base, k / 4)
+}
+
+/// The tight instance as an [`Instance`] carrying the twin's geometry.
+fn tight_instance(tight: &TightInstance, side: usize, k: usize) -> Instance {
+    let twin = tight_grid_twin(side, k);
+    assert_eq!(twin.graph.num_vertices(), tight.union.graph.num_vertices());
+    assert_eq!(twin.graph.num_edges(), tight.union.graph.num_edges());
+    Instance::from_grid(twin, tight.union.costs.clone(), tight.weights.clone())
+        .expect("tight instances are well-formed")
+}
+
+/// The climate workload as an [`Instance`] (geometry preserved).
+fn climate_instance(wl: &ClimateWorkload) -> Instance {
+    Instance::from_grid(wl.grid.clone(), wl.costs.clone(), wl.weights.clone())
+        .expect("climate workload is well-formed")
+}
+
+/// Recursive bisection followed by Kernighan–Lin refinement — the
+/// composite engineering baseline, expressed as its own [`Partitioner`].
+struct RbKl;
+
+impl Partitioner for RbKl {
+    fn name(&self) -> &str {
+        "RB + KL refine"
+    }
+
+    fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
+        let (splitter, _) = auto_splitter(inst);
+        let rb = recursive_bisection(inst.graph(), &splitter, inst.weights(), k)?;
+        refine(inst.graph(), inst.costs(), inst.weights(), &rb, &KlParams::default())
+    }
 }
 
 /// E4 — Theorem 5 lower bound (Lemma 40): on `G̃` every roughly balanced
@@ -40,66 +77,34 @@ pub fn e4(quick: bool) -> Table {
     );
     let side = if quick { 8 } else { 12 };
     let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
+    let algos: [&dyn Partitioner; 5] = [
+        &Theorem4Pipeline::default(),
+        &Lpt,
+        &FirstFit,
+        &RecursiveBisection { kst: false },
+        &Multilevel::default(),
+    ];
     for &k in ks {
         let tight = TightInstance::grid(side, k);
-        let twin = tight_grid_twin(side, k);
-        let g = &tight.union.graph;
-        assert_eq!(twin.graph.num_vertices(), g.num_vertices());
-        assert_eq!(twin.graph.num_edges(), g.num_edges());
-        let costs = &tight.union.costs;
-        let weights = &tight.weights;
+        let inst = tight_instance(&tight, side, k);
         let lb = tight.avg_boundary_lower_bound();
-
-        let sp = GridSplitter::new(&twin, costs);
-        let mut entries: Vec<(&str, Coloring)> = Vec::new();
-        let ours = decompose(g, costs, weights, k, &sp, &[], &PipelineConfig::default())
-            .expect("valid instance")
-            .coloring;
-        entries.push(("ours (Thm 4)", ours));
-        entries.push(("greedy LPT", lpt(g.num_vertices(), k, weights)));
-        entries.push(("greedy FF", first_fit(g.num_vertices(), k, weights)));
-        entries.push(("rec. bisection", recursive_bisection(g, &sp, weights, k)));
-        entries.push((
-            "multilevel",
-            multilevel(g, costs, weights, k, &MultilevelParams::default()),
-        ));
-        for (name, chi) in entries {
+        for algo in algos {
+            let chi = algo.partition(&inst, k).expect("valid instance");
             let (avg, lower, rough) = tight.check(&chi);
             t.row(vec![
                 k.to_string(),
-                name.into(),
+                algo.name().into(),
                 fmt(avg),
                 fmt(lower),
                 fmt(avg / lb.max(1e-300)),
                 if rough { "yes".into() } else { "no*".into() },
-            if chi.is_strictly_balanced(weights) { "yes".into() } else { "no".into() },
+                if chi.is_strictly_balanced(&tight.weights) { "yes".into() } else { "no".into() },
             ]);
         }
     }
     t.note("LB applies to roughly balanced colorings (‖wχ⁻¹‖∞ ≤ 2·avg); avg/LB ≥ 1 reproduces the bound");
     t.note("* colorings that are not roughly balanced escape the LB's precondition, not the bound");
     t
-}
-
-/// Row helper for the E7 comparison.
-fn compare_row(
-    t: &mut Table,
-    label: &str,
-    g: &Graph,
-    costs: &[f64],
-    weights: &[f64],
-    chi: &Coloring,
-    ms: f64,
-) {
-    let s = score(g, costs, weights, chi);
-    t.row(vec![
-        label.into(),
-        fmt(s.balance_factor),
-        if s.is_strict(weights) { "yes".into() } else { "no".into() },
-        fmt(s.max_boundary),
-        fmt(s.avg_boundary),
-        fmt(ms),
-    ]);
 }
 
 /// E7 — the §1 comparison on the climate workload: greedy balances but
@@ -116,44 +121,35 @@ pub fn e7(quick: bool) -> Table {
         ClimateParams { lon: 128, lat: 64, ..Default::default() }
     };
     let wl = climate(&params);
-    let g = &wl.grid.graph;
-    let n = g.num_vertices();
+    let inst = climate_instance(&wl);
     let k = 16;
-    let sp = GridSplitter::new(&wl.grid, &wl.costs);
-
-    let (ours, ms) = timed(|| {
-        decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
-            .expect("valid instance")
-            .coloring
-    });
-    compare_row(&mut t, "ours (Thm 4)", g, &wl.costs, &wl.weights, &ours, ms);
-
-    let (chi, ms) = timed(|| lpt(n, k, &wl.weights));
-    compare_row(&mut t, "greedy LPT", g, &wl.costs, &wl.weights, &chi, ms);
-
-    let (chi, ms) = timed(|| first_fit(n, k, &wl.weights));
-    compare_row(&mut t, "greedy FF", g, &wl.costs, &wl.weights, &chi, ms);
-
-    let (chi, ms) = timed(|| recursive_bisection(g, &sp, &wl.weights, k));
-    compare_row(&mut t, "rec. bisection", g, &wl.costs, &wl.weights, &chi, ms);
-
-    let (chi, ms) = timed(|| recursive_bisection_kst(g, &wl.costs, &sp, &wl.weights, k));
-    compare_row(&mut t, "RB + KST measure", g, &wl.costs, &wl.weights, &chi, ms);
-
-    let (chi, ms) = timed(|| {
-        let rb = recursive_bisection(g, &sp, &wl.weights, k);
-        refine(g, &wl.costs, &wl.weights, &rb, &KlParams::default())
-    });
-    compare_row(&mut t, "RB + KL refine", g, &wl.costs, &wl.weights, &chi, ms);
-
-    let (chi, ms) = timed(|| multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default()));
-    compare_row(&mut t, "multilevel", g, &wl.costs, &wl.weights, &chi, ms);
+    let algos: [&dyn Partitioner; 7] = [
+        &Theorem4Pipeline::default(),
+        &Lpt,
+        &FirstFit,
+        &RecursiveBisection { kst: false },
+        &RecursiveBisection { kst: true },
+        &RbKl,
+        &Multilevel::default(),
+    ];
+    for algo in algos {
+        let (_, s) = run_scored(algo, &inst, k).expect("valid instance");
+        t.row(vec![
+            algo.name().into(),
+            fmt(s.balance_factor),
+            if s.is_strict(inst.weights()) { "yes".into() } else { "no".into() },
+            fmt(s.max_boundary),
+            fmt(s.avg_boundary),
+            fmt(s.millis),
+        ]);
+    }
     t.note("claim reproduced if ours is the only strict row whose max ∂ is within a small factor of the best");
     t
 }
 
 /// E8 — Propositions 11/12 ablation: strictness costs only a constant
-/// factor in boundary (stage-by-stage view of the pipeline).
+/// factor in boundary (stage-by-stage view of the pipeline, straight from
+/// the [`Report`](mmb_core::api::Report)'s ablation data).
 pub fn e8(quick: bool) -> Table {
     let mut t = Table::new(
         "E8: no balance/boundary trade-off — boundary across pipeline stages",
@@ -165,33 +161,39 @@ pub fn e8(quick: bool) -> Table {
         ClimateParams { lon: 96, lat: 48, ..Default::default() }
     };
     let wl = climate(&params);
-    let g = &wl.grid.graph;
+    let inst = climate_instance(&wl);
     let k = 12;
-    let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let d = decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
-        .expect("valid instance");
+    let report = Solver::for_instance(&inst)
+        .classes(k)
+        .build()
+        .expect("valid instance")
+        .solve();
     let stages: [(&str, &Coloring); 3] = [
-        ("1: Prop 7 (weakly balanced)", &d.stages.0),
-        ("2: Prop 11 (almost strict)", &d.stages.1),
-        ("3: Prop 12 (strict)", &d.coloring),
+        ("1: Prop 7 (weakly balanced)", &report.stages.multibalanced),
+        ("2: Prop 11 (almost strict)", &report.stages.almost_strict),
+        ("3: Prop 12 (strict)", &report.coloring),
     ];
     for (name, chi) in stages {
         t.row(vec![
             name.into(),
-            fmt(chi.max_boundary_cost(g, &wl.costs)),
-            fmt(chi.strict_balance_defect(&wl.weights)),
-            if chi.is_strictly_balanced(&wl.weights) { "yes".into() } else { "no".into() },
+            fmt(chi.max_boundary_cost(inst.graph(), inst.costs())),
+            fmt(chi.strict_balance_defect(inst.weights())),
+            if chi.is_strictly_balanced(inst.weights()) { "yes".into() } else { "no".into() },
         ]);
     }
     // Ablation: skipping the shrink stage (BinPack2 alone must repair a
     // weakly balanced coloring — more boundary damage).
-    let cfg = PipelineConfig { skip_shrink: true, ..Default::default() };
-    let d2 = decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &cfg).expect("valid instance");
+    let ablated = Solver::for_instance(&inst)
+        .classes(k)
+        .skip_shrink(true)
+        .build()
+        .expect("valid instance")
+        .solve();
     t.row(vec![
         "ablation: skip shrink".into(),
-        fmt(d2.coloring.max_boundary_cost(g, &wl.costs)),
-        fmt(d2.coloring.strict_balance_defect(&wl.weights)),
-        if d2.coloring.is_strictly_balanced(&wl.weights) { "yes".into() } else { "no".into() },
+        fmt(ablated.max_boundary),
+        fmt(ablated.strict_defect),
+        if ablated.is_strictly_balanced() { "yes".into() } else { "no".into() },
     ]);
     t.note("stage 3 / stage 1 max-∂ ratio bounded by a constant ⇒ strictness is (asymptotically) free");
     t
@@ -293,14 +295,9 @@ pub fn e10(quick: bool) -> Table {
     let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
     for &k in ks {
         let tight = TightInstance::grid(side, k);
-        let twin = tight_grid_twin(side, k);
-        let g = &tight.union.graph;
-        let sp = GridSplitter::new(&twin, &tight.union.costs);
-        let d = decompose(
-            g, &tight.union.costs, &tight.weights, k, &sp, &[], &PipelineConfig::default(),
-        )
-        .expect("valid instance");
-        let s = score(g, &tight.union.costs, &tight.weights, &d.coloring);
+        let inst = tight_instance(&tight, side, k);
+        let (_, s) =
+            run_scored(&Theorem4Pipeline::default(), &inst, k).expect("valid instance");
         let lb = tight.avg_boundary_lower_bound();
         t.row(vec![
             k.to_string(),
@@ -381,8 +378,7 @@ pub fn e12(quick: bool) -> Table {
         ClimateParams { lon: 96, lat: 48, ..Default::default() }
     };
     let wl = climate(&params);
-    let g = &wl.grid.graph;
-    let n = g.num_vertices();
+    let n = wl.grid.graph.num_vertices();
     let k = 12;
     // Extra resources: memory footprint (∝ activity², heavy tail) and I/O
     // (concentrated on a coastline stripe).
@@ -390,17 +386,21 @@ pub fn e12(quick: bool) -> Table {
     let io: Vec<f64> = (0..n as u32)
         .map(|v| if wl.grid.coord(v)[1] < 3 { 4.0 } else { 0.1 })
         .collect();
-    let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let d = decompose(
-        g, &wl.costs, &wl.weights, k, &sp, &[&mem, &io], &PipelineConfig::default(),
-    )
-    .expect("valid instance");
+    let inst = climate_instance(&wl)
+        .with_extra_measure(mem.clone())
+        .and_then(|i| i.with_extra_measure(io.clone()))
+        .expect("valid measures");
+    let report = Solver::for_instance(&inst)
+        .classes(k)
+        .build()
+        .expect("valid instance")
+        .solve();
     t.row(vec![
         "strict in w (eq. 1)".into(),
-        if d.coloring.is_strictly_balanced(&wl.weights) { "yes".into() } else { "NO".into() },
+        if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
     ]);
     for (name, m) in [("mem", &mem), ("io", &io)] {
-        let cm = d.coloring.class_measures(m);
+        let cm = report.coloring.class_measures(m);
         let avg = norm_1(m) / k as f64;
         let factor = cm.iter().cloned().fold(0.0, f64::max)
             / (avg + m.iter().cloned().fold(0.0, f64::max));
@@ -409,12 +409,10 @@ pub fn e12(quick: bool) -> Table {
             fmt(factor),
         ]);
     }
-    t.row(vec!["max ∂".into(), fmt(d.max_boundary())]);
+    t.row(vec!["max ∂".into(), fmt(report.max_boundary)]);
     t.row(vec![
         "Thm 5 bound".into(),
-        fmt(bounds::theorem5(2.0, k, total_edge_norm_p(g, &wl.costs, 2.0), {
-            wl.costs.iter().cloned().fold(0.0, f64::max)
-        })),
+        fmt(bounds::theorem5(2.0, k, inst.cost_norm(2.0), inst.max_cost())),
     ]);
     t.note("weak-balance factors O(1) while eq. (1) holds in w ⇒ the conclusion's remark reproduced");
     t

@@ -1,8 +1,12 @@
 //! Experiments E1–E3, E5, E6: the paper's upper-bound theorems.
+//!
+//! E1/E2/E6 drive the pipeline through the [`Instance`]/[`Solver`] API;
+//! the [`Report`](mmb_core::api::Report) already carries the Theorem-5
+//! right-hand side and measured/bound ratio the tables print.
 
+use mmb_core::api::{Instance, Solver};
 use mmb_core::bounds;
 use mmb_core::multibalance::multibalance;
-use mmb_core::pipeline::{decompose, PipelineConfig};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::measure::{norm_1, norm_inf, total_edge_norm_p};
 use mmb_graph::VertexSet;
@@ -12,7 +16,7 @@ use mmb_splitters::grid::{theorem19_bound, GridSplitter};
 use mmb_splitters::Splitter;
 
 use crate::table::Table;
-use crate::{fmt, score, timed};
+use crate::{fmt, timed};
 
 /// E1 — Theorem 4/5 upper bound on the maximum boundary cost of strictly
 /// balanced colorings, across grid dimension, size, `k`, and weights.
@@ -48,26 +52,26 @@ fn run_e1_rows(
 ) {
     let n = grid.graph.num_vertices();
     let costs = vec![1.0; grid.graph.num_edges()];
-    let sp = GridSplitter::new(grid, &costs);
-    let cnorm = total_edge_norm_p(&grid.graph, &costs, p);
     for fam in fams {
         let weights = fam.generate(n, 11);
-        for &k in ks {
-            let d = decompose(
-                &grid.graph, &costs, &weights, k, &sp, &[], &PipelineConfig::with_p(p),
-            )
+        let inst = Instance::from_grid(grid.clone(), costs.clone(), weights)
             .expect("valid instance");
-            let s = score(&grid.graph, &costs, &weights, &d.coloring);
-            let bound = bounds::theorem5(p, k, cnorm, 1.0);
+        for &k in ks {
+            let report = Solver::for_instance(&inst)
+                .classes(k)
+                .p(p)
+                .build()
+                .expect("valid instance")
+                .solve();
             t.row(vec![
                 label.into(),
                 fmt(p),
                 fam.name().into(),
                 k.to_string(),
-                fmt(s.max_boundary),
-                fmt(bound),
-                fmt(s.max_boundary / bound),
-                if s.is_strict(&weights) { "yes".into() } else { "NO".into() },
+                fmt(report.max_boundary),
+                fmt(report.bound),
+                fmt(report.bound_ratio),
+                if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
             ]);
         }
     }
@@ -84,26 +88,30 @@ pub fn e2(quick: bool) -> Table {
     let grid = GridGraph::lattice(&[side, side]);
     let n = grid.graph.num_vertices();
     let costs = vec![1.0; grid.graph.num_edges()];
-    let sp = GridSplitter::new(&grid, &costs);
     let ks: &[usize] = if quick { &[2, 16] } else { &[2, 5, 16, 64] };
     for fam in ALL_FAMILIES {
         let weights = fam.generate(n, 23);
-        for &k in ks {
-            let d = decompose(
-                &grid.graph, &costs, &weights, k, &sp, &[], &PipelineConfig::default(),
-            )
+        let inst = Instance::from_grid(grid.clone(), costs.clone(), weights)
             .expect("valid instance");
-            let cm = &d.class_weights;
-            let avg = norm_1(cm) / k as f64;
-            let dev = cm.iter().map(|&x| (x - avg).abs()).fold(0.0, f64::max);
-            let slack = bounds::strict_slack(k, norm_inf(&weights));
+        for &k in ks {
+            let report = Solver::for_instance(&inst)
+                .classes(k)
+                .build()
+                .expect("valid instance")
+                .solve();
+            let avg = norm_1(&report.class_weights) / k as f64;
+            let dev = report
+                .class_weights
+                .iter()
+                .map(|&x| (x - avg).abs())
+                .fold(0.0, f64::max);
             t.row(vec![
                 fam.name().into(),
                 k.to_string(),
                 fmt(dev),
-                fmt(slack),
-                fmt(d.strict_defect),
-                if d.coloring.is_strictly_balanced(&weights) { "yes".into() } else { "NO".into() },
+                fmt(report.strict_slack),
+                fmt(report.strict_defect),
+                if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
             ]);
         }
     }
@@ -206,24 +214,28 @@ pub fn e5(quick: bool) -> Table {
 
 /// E6 — running time: near-linear in |G|, multiplicative in log k
 /// (Theorem 4); coarse wall-clock shape (criterion benches give precise
-/// numbers).
+/// numbers). Timed per `solve()` on a prebuilt [`Solver`], so the figure
+/// is the marginal serve cost, not the one-time build.
 pub fn e6(quick: bool) -> Table {
     let mut t = Table::new(
         "E6: Theorem 4 running time — t(|G|)·log k shape",
-        &["side", "n", "k", "ms", "ms / (n·log₂k)"],
+        &["side", "n", "k", "ms/solve", "ms / (n·log₂k)"],
     );
     let sides: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
     for &side in sides {
         let grid = GridGraph::lattice(&[side, side]);
         let n = grid.graph.num_vertices();
         let costs = vec![1.0; grid.graph.num_edges()];
-        let sp = GridSplitter::new(&grid, &costs);
         let weights = WeightFamily::Uniform.generate(n, 3);
+        let inst =
+            Instance::from_grid(grid, costs, weights).expect("valid instance");
         for k in [4usize, 16, 64] {
-            let (res, ms) = timed(|| {
-                decompose(&grid.graph, &costs, &weights, k, &sp, &[], &PipelineConfig::default())
-            });
-            res.expect("valid instance");
+            let solver = Solver::for_instance(&inst)
+                .classes(k)
+                .build()
+                .expect("valid instance");
+            let (report, ms) = timed(|| solver.solve());
+            assert!(report.is_strictly_balanced());
             let denom = n as f64 * (k as f64).log2();
             t.row(vec![
                 side.to_string(),

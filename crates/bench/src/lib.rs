@@ -18,6 +18,7 @@
 pub mod experiments;
 pub mod table;
 
+use mmb_core::api::{Instance, Partitioner, SolveError};
 use mmb_graph::measure::{norm_1, norm_inf};
 use mmb_graph::{Coloring, Graph};
 
@@ -56,6 +57,26 @@ pub fn score(g: &Graph, costs: &[f64], weights: &[f64], chi: &Coloring) -> Score
         balance_factor: if avg_w > 0.0 { norm_inf(&cm) / avg_w } else { 1.0 },
         millis: 0.0,
     }
+}
+
+/// Score a coloring of an [`Instance`] (same metrics as [`score`]).
+pub fn score_instance(inst: &Instance, chi: &Coloring) -> Score {
+    score(inst.graph(), inst.costs(), inst.weights(), chi)
+}
+
+/// Run a [`Partitioner`] on an instance, returning the coloring and its
+/// timed [`Score`] — the uniform "ours vs baselines" code path of
+/// experiments E4, E7 and E10.
+pub fn run_scored(
+    algo: &dyn Partitioner,
+    inst: &Instance,
+    k: usize,
+) -> Result<(Coloring, Score), SolveError> {
+    let (chi, millis) = timed(|| algo.partition(inst, k));
+    let chi = chi?;
+    let mut s = score_instance(inst, &chi);
+    s.millis = millis;
+    Ok((chi, s))
 }
 
 /// Run `f`, returning its result and the elapsed milliseconds.

@@ -1,0 +1,328 @@
+//! The reusable solver: build once, `solve()` many times.
+//!
+//! [`Solver`] is the serve-heavy entry point of the library. Building one
+//! (via the [`SolverBuilder`]) fixes the instance, the class count `k`,
+//! the pipeline configuration, and — crucially — *constructs the splitter
+//! once*: GridSplit's cost scaling, the tree splitter's forest check, the
+//! path order, all happen at [`SolverBuilder::build`] time, together with
+//! the splitting-cost measure `π` (Definition 10) and `‖c‖_p`, so
+//! repeated [`Solver::solve`] calls on the same instance only pay for the
+//! pipeline itself.
+//!
+//! ```
+//! use mmb_core::api::{Instance, Solver, SplitterChoice};
+//! use mmb_graph::gen::grid::GridGraph;
+//!
+//! let grid = GridGraph::lattice(&[8, 8]);
+//! let costs = vec![1.0; grid.graph.num_edges()];
+//! let weights = vec![1.0; grid.graph.num_vertices()];
+//! let inst = Instance::from_grid(grid, costs, weights).unwrap();
+//! let solver = Solver::for_instance(&inst)
+//!     .classes(4)
+//!     .p(2.0)
+//!     .splitter(SplitterChoice::Auto)
+//!     .build()
+//!     .unwrap();
+//! let report = solver.solve(); // reusable: call again without rebuilding
+//! assert!(report.is_strictly_balanced());
+//! assert_eq!(solver.family(), "grid");
+//! ```
+
+use mmb_graph::recognize::Structure;
+use mmb_splitters::bfs::BfsSplitter;
+use mmb_splitters::grid::GridSplitter;
+use mmb_splitters::order::OrderSplitter;
+use mmb_splitters::tree::TreeSplitter;
+use mmb_splitters::Splitter;
+
+use crate::api::error::SolveError;
+use crate::api::instance::Instance;
+use crate::api::report::Report;
+use crate::multibalance::multibalance_minmax_with_pi;
+use crate::pi::splitting_cost_measure_within;
+use crate::pipeline::PipelineConfig;
+use crate::shrink::{almost_strict, ShrinkParams};
+use crate::strict::binpack2;
+
+/// Which splitter family drives the pipeline.
+///
+/// The lifetime `'i` bounds a [`SplitterChoice::Custom`] splitter; the
+/// other variants are `'static` descriptions.
+pub enum SplitterChoice<'i> {
+    /// Pick by the instance's structure: grid geometry → GridSplit
+    /// (Theorem 19), forest → smallest-subtree DFS, union of paths →
+    /// prefix splitting along the walk, anything else → the BFS fallback.
+    Auto,
+    /// GridSplit; requires grid geometry (given or detected), else
+    /// [`SolveError::SplitterUnavailable`].
+    Grid,
+    /// The forest splitter; requires an acyclic instance.
+    Tree,
+    /// Prefix splitting in vertex-id order (always available; quality
+    /// depends entirely on the order's locality).
+    Order,
+    /// The BFS engineering baseline (always available, no guarantee).
+    Bfs,
+    /// Bring your own [`Splitter`] (e.g. a
+    /// [`SeparatorSplitter`](mmb_splitters::separator::SeparatorSplitter)
+    /// or an instrumented
+    /// [`RecordingSplitter`](mmb_splitters::recording::RecordingSplitter)).
+    Custom(Box<dyn Splitter + 'i>),
+}
+
+impl std::fmt::Debug for SplitterChoice<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SplitterChoice::Auto => "Auto",
+            SplitterChoice::Grid => "Grid",
+            SplitterChoice::Tree => "Tree",
+            SplitterChoice::Order => "Order",
+            SplitterChoice::Bfs => "Bfs",
+            SplitterChoice::Custom(_) => "Custom(..)",
+        })
+    }
+}
+
+/// Construct the splitter [`SplitterChoice::Auto`] would pick for `inst`,
+/// together with the family label it matched.
+///
+/// Exposed so baselines (recursive bisection) and harness code can drive
+/// *their* algorithms with the same automatically selected splitter.
+pub fn auto_splitter(inst: &Instance) -> (Box<dyn Splitter + '_>, &'static str) {
+    if let Some(grid) = inst.grid() {
+        return (Box::new(GridSplitter::new(grid, inst.costs())), "grid");
+    }
+    match inst.structure() {
+        Structure::Path { positions } => (
+            Box::new(OrderSplitter::by_key(
+                inst.num_vertices(),
+                positions.clone(),
+                "order/path",
+            )),
+            "path",
+        ),
+        Structure::Forest => (Box::new(TreeSplitter::new(inst.graph())), "forest"),
+        // `inst.grid()` above already surfaced detected lattices; this arm
+        // is unreachable but kept total.
+        Structure::Grid(gg) => (Box::new(GridSplitter::new(gg, inst.costs())), "grid"),
+        Structure::Arbitrary => (Box::new(BfsSplitter::new(inst.graph())), "arbitrary"),
+    }
+}
+
+/// Builder for a [`Solver`]; obtained from [`Solver::for_instance`].
+pub struct SolverBuilder<'i> {
+    inst: &'i Instance,
+    k: usize,
+    cfg: PipelineConfig,
+    choice: SplitterChoice<'i>,
+}
+
+impl<'i> SolverBuilder<'i> {
+    /// Number of classes `k` (required; `build` fails with
+    /// [`SolveError::ZeroColors`] if unset or 0).
+    pub fn classes(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Norm exponent `p > 1` of the splittability assumption (default 2;
+    /// use `d/(d−1)` for `d`-dimensional grids).
+    pub fn p(mut self, p: f64) -> Self {
+        self.cfg.p = p;
+        self
+    }
+
+    /// Shrink-and-conquer tunables (default [`ShrinkParams::default`]).
+    pub fn shrink(mut self, params: ShrinkParams) -> Self {
+        self.cfg.shrink = params;
+        self
+    }
+
+    /// Skip the Proposition 11 stage (ablation switch, experiment E8).
+    pub fn skip_shrink(mut self, skip: bool) -> Self {
+        self.cfg.skip_shrink = skip;
+        self
+    }
+
+    /// Replace the whole pipeline configuration at once.
+    pub fn config(mut self, cfg: PipelineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Splitter family (default [`SplitterChoice::Auto`]).
+    pub fn splitter(mut self, choice: SplitterChoice<'i>) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Resolve the splitter, precompute `π` and `‖c‖_p`, and return the
+    /// reusable [`Solver`].
+    pub fn build(self) -> Result<Solver<'i>, SolveError> {
+        if self.k == 0 {
+            return Err(SolveError::ZeroColors);
+        }
+        // The pipeline's p-norm machinery requires finite p ≥ 1 (the
+        // theorems additionally want p > 1); reject here so `solve()`
+        // stays infallible.
+        if !(self.cfg.p.is_finite() && self.cfg.p >= 1.0) {
+            return Err(SolveError::InvalidExponent { p: self.cfg.p });
+        }
+        let inst = self.inst;
+        let (splitter, family): (Box<dyn Splitter + 'i>, &'static str) = match self.choice {
+            SplitterChoice::Auto => auto_splitter(inst),
+            SplitterChoice::Grid => match inst.grid() {
+                Some(grid) => (Box::new(GridSplitter::new(grid, inst.costs())), "grid"),
+                None => {
+                    return Err(SolveError::SplitterUnavailable {
+                        requested: "grid",
+                        structure: inst.family(),
+                    })
+                }
+            },
+            SplitterChoice::Tree => {
+                // Eligibility is actual acyclicity, not the detected
+                // family label — an acyclic grid subset is a fine forest.
+                let g = inst.graph();
+                let (_, components) = g.components();
+                if g.num_edges() + components == g.num_vertices() {
+                    (Box::new(TreeSplitter::new(g)), "forest")
+                } else {
+                    return Err(SolveError::SplitterUnavailable {
+                        requested: "tree",
+                        structure: inst.family(),
+                    });
+                }
+            }
+            SplitterChoice::Order => (Box::new(OrderSplitter::by_id(inst.graph())), "order"),
+            SplitterChoice::Bfs => (Box::new(BfsSplitter::new(inst.graph())), "bfs"),
+            SplitterChoice::Custom(b) => (b, "custom"),
+        };
+        let pi = splitting_cost_measure_within(
+            inst.graph(),
+            inst.costs(),
+            self.cfg.p,
+            1.0,
+            inst.domain(),
+        );
+        let c_norm_p = inst.cost_norm(self.cfg.p);
+        Ok(Solver { inst, k: self.k, cfg: self.cfg, splitter, family, pi, c_norm_p })
+    }
+}
+
+/// A built, reusable solver: the Theorem 4 pipeline bound to one
+/// [`Instance`], one `k`, one splitter.
+///
+/// All per-instance work that does not depend on the run itself — input
+/// validation, splitter construction, the splitting-cost measure `π`,
+/// `‖c‖_p` — happened at build time; [`Solver::solve`] only runs the
+/// three pipeline stages. See the [module docs](self) for an example.
+pub struct Solver<'i> {
+    inst: &'i Instance,
+    k: usize,
+    cfg: PipelineConfig,
+    splitter: Box<dyn Splitter + 'i>,
+    family: &'static str,
+    /// Splitting-cost measure `π` (Definition 10), precomputed per `p`.
+    pi: Vec<f64>,
+    /// `‖c‖_p` for the Theorem 5 bound in reports.
+    c_norm_p: f64,
+}
+
+impl<'i> Solver<'i> {
+    /// Start building a solver for `inst`.
+    pub fn for_instance(inst: &'i Instance) -> SolverBuilder<'i> {
+        SolverBuilder {
+            inst,
+            k: 0,
+            cfg: PipelineConfig::default(),
+            choice: SplitterChoice::Auto,
+        }
+    }
+
+    /// Run the Theorem 4 pipeline (Proposition 7 → 11 → 12) and return a
+    /// structured [`Report`]. Infallible: everything that can fail was
+    /// checked at build time. Call repeatedly to amortize the build.
+    pub fn solve(&self) -> Report {
+        let inst = self.inst;
+        let (g, costs, weights) = (inst.graph(), inst.costs(), inst.weights());
+        let domain = inst.domain();
+        let user = inst.balance_measures();
+
+        let stage1 = multibalance_minmax_with_pi(
+            g, costs, &self.splitter, self.k, domain, &user, &self.pi,
+        );
+        let stage2 = if self.cfg.skip_shrink {
+            stage1.coloring.clone()
+        } else {
+            almost_strict(
+                g,
+                costs,
+                &self.splitter,
+                &stage1.coloring,
+                domain,
+                weights,
+                self.cfg.p,
+                &self.cfg.shrink,
+            )
+        };
+        let stage3 = binpack2(g, &self.splitter, &stage2, domain, weights);
+        debug_assert!(stage3.is_total(), "pipeline must color every vertex");
+
+        Report::assemble(
+            g,
+            costs,
+            weights,
+            inst.max_weight(),
+            inst.max_cost(),
+            self.c_norm_p,
+            self.k,
+            self.cfg.p,
+            self.splitter.name().to_owned(),
+            stage1.coloring,
+            stage2,
+            stage3,
+        )
+    }
+
+    /// The instance this solver is bound to.
+    pub fn instance(&self) -> &'i Instance {
+        self.inst
+    }
+
+    /// Number of classes `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Name of the constructed splitter (e.g. `"gridsplit"`, `"tree"`,
+    /// `"order/path"`, `"bfs"`).
+    pub fn splitter_name(&self) -> &str {
+        self.splitter.name()
+    }
+
+    /// The family label the splitter choice resolved to. For
+    /// [`SplitterChoice::Auto`] this is the detected structure — `"grid"`,
+    /// `"forest"`, `"path"`, or `"arbitrary"` (BFS fallback) — and for
+    /// explicit choices it names the choice (`"order"`, `"bfs"`,
+    /// `"custom"`, …).
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+}
+
+impl std::fmt::Debug for Solver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("k", &self.k)
+            .field("p", &self.cfg.p)
+            .field("splitter", &self.splitter.name())
+            .field("family", &self.family)
+            .finish()
+    }
+}

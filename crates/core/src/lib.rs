@@ -13,10 +13,33 @@
 //! `σ_p` is the instance's splittability and `Δ_c` its maximum cost-weighted
 //! degree.
 //!
+//! ## Entry points
+//!
+//! The front door is the [`api`] module: bundle the inputs into a
+//! validated [`api::Instance`], build a reusable
+//! [`api::Solver`] (splitter auto-selected from the graph's
+//! structure, constructed once), and call
+//! [`solve()`](api::Solver::solve) as often as you like:
+//!
+//! ```
+//! use mmb_core::api::{Instance, Solver, SplitterChoice};
+//! use mmb_graph::gen::grid::GridGraph;
+//!
+//! let grid = GridGraph::lattice(&[8, 8]);
+//! let costs = vec![1.0; grid.graph.num_edges()];
+//! let weights = vec![1.0; grid.graph.num_vertices()];
+//! let inst = Instance::from_grid(grid, costs, weights)?;
+//! let solver = Solver::for_instance(&inst).classes(4).build()?;
+//! assert!(solver.solve().is_strictly_balanced());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The legacy free function [`pipeline::decompose`] remains as a thin
+//! wrapper over the same machinery.
+//!
 //! ## Pipeline
 //!
-//! The top-level entry point [`pipeline::decompose`] composes the paper's
-//! three stages:
+//! The pipeline composes the paper's three stages:
 //!
 //! 1. **Multi-balanced coloring** ([`multibalance`]): Lemma 6 builds a
 //!    coloring balanced with respect to the splitting-cost measure `π`
@@ -49,6 +72,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod bounds;
 pub mod conquer;
 pub mod multibalance;
@@ -60,10 +84,17 @@ pub mod strict;
 pub mod two_color;
 pub mod verify;
 
+pub use api::{
+    auto_splitter, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
+    SolverBuilder, SplitterChoice, Theorem4Pipeline,
+};
 pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};
 
 /// Commonly used items for downstream crates.
 pub mod prelude {
+    pub use crate::api::{
+        Instance, InstanceError, Partitioner, Report, SolveError, Solver, SplitterChoice,
+    };
     pub use crate::bounds;
     pub use crate::pi::splitting_cost_measure;
     pub use crate::pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};

@@ -73,15 +73,35 @@ pub fn multibalance_minmax<S: Splitter + ?Sized>(
     user_measures: &[&[f64]],
     p: f64,
 ) -> MinMaxBalanced {
-    let n = g.num_vertices();
-    assert_eq!(costs.len(), g.num_edges(), "cost vector length mismatch");
-
     // Φ^{(2)} := π, the splitting cost measure (Definition 10).
     let pi = splitting_cost_measure_within(g, costs, p, 1.0, domain);
+    multibalance_minmax_with_pi(g, costs, splitter, k, domain, user_measures, &pi)
+}
+
+/// [`multibalance_minmax`] with the splitting-cost measure `π`
+/// precomputed by the caller.
+///
+/// `π` depends only on `(G, c, p, domain)`, so a reusable
+/// [`Solver`](crate::api::Solver) computes it once at build time and
+/// amortizes it across solves; this entry point is what makes that
+/// possible.
+#[allow(clippy::too_many_arguments)] // the paper's procedure parameters plus the cached π
+pub fn multibalance_minmax_with_pi<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    splitter: &S,
+    k: usize,
+    domain: &VertexSet,
+    user_measures: &[&[f64]],
+    pi: &[f64],
+) -> MinMaxBalanced {
+    let n = g.num_vertices();
+    assert_eq!(costs.len(), g.num_edges(), "cost vector length mismatch");
+    assert_eq!(pi.len(), n, "π measure length mismatch");
 
     // Lemma 6 coloring balanced w.r.t. [π, user measures…].
     let chi = {
-        let mut ms: Vec<&[f64]> = vec![&pi];
+        let mut ms: Vec<&[f64]> = vec![pi];
         ms.extend_from_slice(user_measures);
         multibalance(splitter, k, domain, &ms)
     };
@@ -121,7 +141,7 @@ pub fn multibalance_minmax<S: Splitter + ?Sized>(
     // the dynamic measure is appended per Move. Heavy factor counts all
     // r + 1 measures.
     let measures: Vec<&[f64]> = {
-        let mut ms: Vec<&[f64]> = vec![&psi, &pi];
+        let mut ms: Vec<&[f64]> = vec![&psi, pi];
         ms.extend_from_slice(user_measures);
         ms
     };

@@ -12,14 +12,27 @@
 //! cost `O_p(σ_p·(k^{−1/p}·‖c‖_p + Δ_c))`; the conclusion's multi-balanced
 //! variant (weak balance in arbitrary extra measures, strict balance in
 //! `w`) falls out of the same call by passing `extra_measures`.
+//!
+//! **Legacy surface.** [`decompose`] predates the
+//! [`crate::api::Instance`]/[`crate::api::Solver`] API
+//! and is kept as a thin wrapper over it so existing call sites (and their
+//! test baselines) keep working unchanged. It copies its borrowed inputs
+//! into a fresh `Instance` and builds a single-use `Solver` per call — for
+//! anything called repeatedly on the same instance, build an `Instance`
+//! and a `Solver` once instead (see [`crate::api`]).
 
-use mmb_graph::measure::{norm_inf, set_sum};
-use mmb_graph::{Coloring, Graph, VertexSet};
+use mmb_graph::measure::norm_inf;
+use mmb_graph::{Coloring, Graph};
 use mmb_splitters::Splitter;
 
-use crate::multibalance::multibalance_minmax;
-use crate::shrink::{almost_strict, ShrinkParams};
-use crate::strict::binpack2;
+use crate::api::{Instance, Solver, SplitterChoice};
+use crate::shrink::ShrinkParams;
+
+pub use crate::api::error::{InstanceError, SolveError};
+
+/// Legacy alias for the error type [`decompose`] reports; instance-shaped
+/// problems arrive as [`SolveError::Instance`].
+pub type DecomposeError = SolveError;
 
 /// Configuration of the decomposition pipeline.
 #[derive(Clone, Debug)]
@@ -46,48 +59,6 @@ impl PipelineConfig {
         Self { p, ..Self::default() }
     }
 }
-
-/// Errors reported for malformed inputs.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DecomposeError {
-    /// `k` must be at least 1.
-    ZeroColors,
-    /// Weight vector length must equal the vertex count.
-    WeightLength {
-        /// provided length
-        got: usize,
-        /// expected length (n)
-        expected: usize,
-    },
-    /// Cost vector length must equal the edge count.
-    CostLength {
-        /// provided length
-        got: usize,
-        /// expected length (m)
-        expected: usize,
-    },
-    /// Weights and costs must be finite and non-negative.
-    NotFinite,
-}
-
-impl std::fmt::Display for DecomposeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecomposeError::ZeroColors => write!(f, "k must be at least 1"),
-            DecomposeError::WeightLength { got, expected } => {
-                write!(f, "weight vector has length {got}, expected {expected}")
-            }
-            DecomposeError::CostLength { got, expected } => {
-                write!(f, "cost vector has length {got}, expected {expected}")
-            }
-            DecomposeError::NotFinite => {
-                write!(f, "weights and costs must be finite and non-negative")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DecomposeError {}
 
 /// Result of [`decompose`].
 #[derive(Clone, Debug)]
@@ -123,6 +94,10 @@ impl Decomposition {
 ///
 /// `extra_measures` are additionally weakly balanced (the conclusion's
 /// multi-balanced variant); pass `&[]` for the plain problem.
+///
+/// This is the legacy one-shot entry point, now a thin wrapper that
+/// builds an [`Instance`] and a single-use [`Solver`] per call; prefer
+/// those types directly when solving repeatedly (see [`crate::api`]).
 pub fn decompose<S: Splitter + ?Sized>(
     g: &Graph,
     costs: &[f64],
@@ -133,51 +108,19 @@ pub fn decompose<S: Splitter + ?Sized>(
     cfg: &PipelineConfig,
 ) -> Result<Decomposition, DecomposeError> {
     if k == 0 {
-        return Err(DecomposeError::ZeroColors);
+        // Checked before the instance copy so the cheap error stays cheap.
+        return Err(SolveError::ZeroColors);
     }
-    if weights.len() != g.num_vertices() {
-        return Err(DecomposeError::WeightLength { got: weights.len(), expected: g.num_vertices() });
+    let mut inst = Instance::new(g.clone(), costs.to_vec(), weights.to_vec())?;
+    for m in extra_measures {
+        inst = inst.with_extra_measure(m.to_vec())?;
     }
-    if costs.len() != g.num_edges() {
-        return Err(DecomposeError::CostLength { got: costs.len(), expected: g.num_edges() });
-    }
-    if weights.iter().chain(costs).any(|x| !x.is_finite() || *x < 0.0) {
-        return Err(DecomposeError::NotFinite);
-    }
-
-    let domain = VertexSet::full(g.num_vertices());
-
-    // Stage 1 (Proposition 7): weakly balanced in w, π and extras, with
-    // bounded maximum boundary and splitting costs.
-    let user: Vec<&[f64]> = std::iter::once(weights)
-        .chain(extra_measures.iter().copied())
-        .collect();
-    let stage1 = multibalance_minmax(g, costs, splitter, k, &domain, &user, cfg.p);
-
-    // Stage 2 (Proposition 11): almost strictly balanced.
-    let stage2 = if cfg.skip_shrink {
-        stage1.coloring.clone()
-    } else {
-        almost_strict(
-            g, costs, splitter, &stage1.coloring, &domain, weights, cfg.p, &cfg.shrink,
-        )
-    };
-
-    // Stage 3 (Proposition 12): strictly balanced, eq. (1) exactly.
-    let stage3 = binpack2(g, splitter, &stage2, &domain, weights);
-
-    debug_assert!(stage3.is_total(), "pipeline must color every vertex");
-    let boundary_costs = stage3.boundary_costs(g, costs);
-    let class_weights = stage3.class_measures(weights);
-    let strict_defect = stage3.strict_balance_defect(weights);
-    let _ = set_sum(weights, &domain);
-    Ok(Decomposition {
-        coloring: stage3,
-        boundary_costs,
-        class_weights,
-        strict_defect,
-        stages: (stage1.coloring, stage2),
-    })
+    let solver = Solver::for_instance(&inst)
+        .classes(k)
+        .config(cfg.clone())
+        .splitter(SplitterChoice::Custom(Box::new(splitter)))
+        .build()?;
+    Ok(solver.solve().into_decomposition())
 }
 
 #[cfg(test)]
@@ -217,17 +160,17 @@ mod tests {
         let w9 = vec![1.0; 9];
         assert_eq!(
             decompose(&grid.graph, &costs, &w9, 0, &sp, &[], &cfg).unwrap_err(),
-            DecomposeError::ZeroColors
+            SolveError::ZeroColors
         );
         let w_bad = vec![1.0; 5];
         assert!(matches!(
             decompose(&grid.graph, &costs, &w_bad, 2, &sp, &[], &cfg).unwrap_err(),
-            DecomposeError::WeightLength { .. }
+            SolveError::Instance(InstanceError::WeightLength { .. })
         ));
         let c_bad = vec![1.0; 3];
         assert!(matches!(
             decompose(&grid.graph, &c_bad, &w9, 2, &sp, &[], &cfg).unwrap_err(),
-            DecomposeError::CostLength { .. }
+            SolveError::Instance(InstanceError::CostLength { .. })
         ));
         let w_nan = {
             let mut w = w9.clone();
@@ -236,7 +179,7 @@ mod tests {
         };
         assert_eq!(
             decompose(&grid.graph, &costs, &w_nan, 2, &sp, &[], &cfg).unwrap_err(),
-            DecomposeError::NotFinite
+            SolveError::Instance(InstanceError::NotFinite { what: "weights" })
         );
         let w_neg = {
             let mut w = w9.clone();
@@ -245,8 +188,13 @@ mod tests {
         };
         assert_eq!(
             decompose(&grid.graph, &costs, &w_neg, 2, &sp, &[], &cfg).unwrap_err(),
-            DecomposeError::NotFinite
+            SolveError::Instance(InstanceError::NotFinite { what: "weights" })
         );
+        let m_bad = vec![1.0; 4];
+        assert!(matches!(
+            decompose(&grid.graph, &costs, &w9, 2, &sp, &[&m_bad], &cfg).unwrap_err(),
+            SolveError::Instance(InstanceError::MeasureLength { .. })
+        ));
     }
 
     #[test]
@@ -303,5 +251,22 @@ mod tests {
         let cfg = PipelineConfig { skip_shrink: true, ..PipelineConfig::default() };
         let d = decompose(&grid.graph, &costs, &weights, 6, &sp, &[], &cfg).unwrap();
         assert!(d.coloring.is_strictly_balanced(&weights));
+    }
+
+    #[test]
+    fn wrapper_matches_solver_output() {
+        // The legacy wrapper and a hand-built Solver with the same
+        // splitter produce the identical coloring.
+        let grid = GridGraph::lattice(&[10, 10]);
+        let n = grid.graph.num_vertices();
+        let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
+        let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 4) as f64).collect();
+        let sp = GridSplitter::new(&grid, &costs);
+        let d = decompose(&grid.graph, &costs, &weights, 6, &sp, &[], &PipelineConfig::default())
+            .unwrap();
+        let inst =
+            Instance::from_grid(grid.clone(), costs.clone(), weights.clone()).unwrap();
+        let solver = Solver::for_instance(&inst).classes(6).build().unwrap();
+        assert_eq!(solver.solve().coloring, d.coloring);
     }
 }

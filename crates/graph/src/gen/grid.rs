@@ -41,6 +41,32 @@ impl GridGraph {
         &self.coords
     }
 
+    /// Couple an existing [`Graph`] with explicit integer coordinates,
+    /// keeping the graph's vertex ids (unlike [`GridGraph::from_points`],
+    /// which re-indexes). Used by structure detection
+    /// ([`crate::recognize`]) to hand a reconstructed embedding to
+    /// GridSplit without relabeling the instance.
+    ///
+    /// # Panics
+    /// Panics if `coords` does not hold `dim` entries per vertex or some
+    /// edge joins points whose `L1` distance is not exactly 1 (the grid
+    /// graph defining property, Section 6).
+    pub fn from_graph_coords(graph: Graph, dim: usize, coords: Vec<i64>) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert_eq!(coords.len(), graph.num_vertices() * dim, "coordinate length mismatch");
+        let grid = GridGraph { graph, dim, coords };
+        for &(u, v) in grid.graph.edge_list() {
+            let dist: i64 = grid
+                .coord(u)
+                .iter()
+                .zip(grid.coord(v))
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert_eq!(dist, 1, "edge {u}-{v} does not join L1-adjacent points");
+        }
+        grid
+    }
+
     /// Build a grid graph from a set of integer points: vertices are the
     /// (deduplicated) points, edges join points at `L1` distance exactly 1.
     ///

@@ -24,6 +24,9 @@
 //!   coordinates (the object of the paper's Section 6), paths, cycles,
 //!   trees, caterpillars, and disjoint unions of copies (the `G̃`
 //!   construction of Lemma 40).
+//! * [`recognize`] — structure detection (path / forest / full lattice /
+//!   arbitrary) with verified lattice-embedding reconstruction, feeding
+//!   the automatic splitter choice in `mmb-core`'s `api` module.
 //!
 //! The crate is dependency-light and purely sequential; the parallel harness
 //! lives in `mmb-bench`.
@@ -37,6 +40,7 @@ pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod measure;
+pub mod recognize;
 pub mod stats;
 pub mod union;
 pub mod vertex_set;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use crate::gen::grid::GridGraph;
     pub use crate::graph::{EdgeId, Graph, GraphBuilder, VertexId};
     pub use crate::measure::{self, Measure};
+    pub use crate::recognize::{recognize, Structure};
     pub use crate::stats::InstanceStats;
     pub use crate::vertex_set::VertexSet;
 }

@@ -122,9 +122,12 @@ impl<'g> GridSplitter<'g> {
             // Some shift cuts nothing at all.
             (1..=ell).find(|a| !per_alpha.contains_key(a)).unwrap()
         } else {
+            // Cheapest shift, ties broken by smallest α so two splitters
+            // built from the same instance always cut identically
+            // (HashMap iteration order must not leak into the output).
             *per_alpha
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
                 .map(|(a, _)| a)
                 .unwrap()
         };

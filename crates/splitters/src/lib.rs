@@ -71,6 +71,24 @@ impl<T: Splitter + ?Sized> Splitter for &T {
     }
 }
 
+impl<T: Splitter + ?Sized> Splitter for Box<T> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        (**self).split(w_set, weights, target)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: Splitter + ?Sized> Splitter for std::sync::Arc<T> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        (**self).split(w_set, weights, target)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Take the best prefix of `order` (which must enumerate exactly the members
 /// of the intended `W`) with respect to `weights` and `target`.
 ///

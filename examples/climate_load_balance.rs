@@ -4,51 +4,45 @@
 //! Regions of the earth's surface are jobs with wildly varying runtimes
 //! (day/night, storms); neighboring regions exchange data. We compare the
 //! Theorem 4 pipeline against greedy bin packing (balance without boundary
-//! control) and recursive bisection (boundary without strict balance).
+//! control) and recursive bisection (boundary without strict balance) —
+//! all three behind the same `Partitioner` interface on one `Instance`.
 //!
 //! ```text
-//! cargo run --release -p mmb-bench --example climate_load_balance
+//! cargo run --release --example climate_load_balance
 //! ```
 
-use mmb_baselines::greedy::lpt;
-use mmb_baselines::recursive_bisection::recursive_bisection;
-use mmb_core::prelude::*;
-use mmb_graph::Coloring;
+use mmb_baselines::greedy::Lpt;
+use mmb_baselines::recursive_bisection::RecursiveBisection;
+use mmb_core::api::{Instance, Partitioner, Theorem4Pipeline};
+use mmb_core::prelude::verify_decomposition;
 use mmb_instances::climate::{climate, ClimateParams};
-use mmb_splitters::grid::GridSplitter;
-
-fn describe(name: &str, g: &mmb_graph::Graph, costs: &[f64], weights: &[f64], chi: &Coloring) {
-    let r = verify_decomposition(g, costs, weights, chi);
-    let avg_w: f64 = r.class_weights.iter().sum::<f64>() / r.class_weights.len() as f64;
-    let max_w = r.class_weights.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "  {name:<18} makespan-proxy {max_w:8.1} (avg {avg_w:8.1})  strict: {:<3}  comm: max {:8.1} avg {:8.1}",
-        if r.is_valid() { "yes" } else { "no" },
-        r.max_boundary,
-        r.avg_boundary
-    );
-}
 
 fn main() {
     let wl = climate(&ClimateParams { lon: 96, lat: 48, storms: 6, ..Default::default() });
-    let g = &wl.grid.graph;
     let k = 16;
     println!(
         "climate workload: {} regions, {} couplings, {k} machines",
-        g.num_vertices(),
-        g.num_edges()
+        wl.grid.graph.num_vertices(),
+        wl.grid.graph.num_edges()
     );
 
-    let splitter = GridSplitter::new(&wl.grid, &wl.costs);
-    let ours = decompose(g, &wl.costs, &wl.weights, k, &splitter, &[], &PipelineConfig::default())
-        .expect("valid instance");
-    describe("ours (Theorem 4)", g, &wl.costs, &wl.weights, &ours.coloring);
-
-    let greedy = lpt(g.num_vertices(), k, &wl.weights);
-    describe("greedy LPT", g, &wl.costs, &wl.weights, &greedy);
-
-    let rb = recursive_bisection(g, &splitter, &wl.weights, k);
-    describe("rec. bisection", g, &wl.costs, &wl.weights, &rb);
+    // One validated instance, three algorithms, identical scoring.
+    let inst = Instance::from_grid(wl.grid, wl.costs, wl.weights).expect("valid instance");
+    let algos: [&dyn Partitioner; 3] =
+        [&Theorem4Pipeline::default(), &Lpt, &RecursiveBisection { kst: false }];
+    for algo in algos {
+        let chi = algo.partition(&inst, k).expect("valid instance");
+        let r = verify_decomposition(inst.graph(), inst.costs(), inst.weights(), &chi);
+        let avg_w: f64 = r.class_weights.iter().sum::<f64>() / r.class_weights.len() as f64;
+        let max_w = r.class_weights.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  {:<18} makespan-proxy {max_w:8.1} (avg {avg_w:8.1})  strict: {:<3}  comm: max {:8.1} avg {:8.1}",
+            algo.name(),
+            if r.is_valid() { "yes" } else { "no" },
+            r.max_boundary,
+            r.avg_boundary
+        );
+    }
 
     println!("\nthe point of the paper: only the first row is strictly balanced");
     println!("*and* keeps the per-machine communication bounded.");

@@ -3,17 +3,15 @@
 //! per-part communication.
 //!
 //! ```text
-//! cargo run --release -p mmb-bench --example multi_constraint
+//! cargo run --release --example multi_constraint
 //! ```
 
-use mmb_core::prelude::*;
+use mmb_core::api::{Instance, Solver};
 use mmb_instances::climate::{climate, ClimateParams};
-use mmb_splitters::grid::GridSplitter;
 
 fn main() {
     let wl = climate(&ClimateParams { lon: 64, lat: 32, ..Default::default() });
-    let g = &wl.grid.graph;
-    let n = g.num_vertices();
+    let n = wl.grid.graph.num_vertices();
     let k = 8;
 
     // Three resources per job: runtime (strictly balanced), memory
@@ -23,21 +21,25 @@ fn main() {
         .map(|v| if wl.grid.coord(v)[1] < 2 { 5.0 } else { 0.1 })
         .collect();
 
-    let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let d = decompose(
-        g, &wl.costs, &wl.weights, k, &sp, &[&mem, &io], &PipelineConfig::default(),
-    )
-    .expect("valid instance");
+    // Extra measures ride on the Instance; the solver weakly balances
+    // every one of them while keeping runtime strictly balanced.
+    let runtime = wl.weights.clone();
+    let inst = Instance::from_grid(wl.grid, wl.costs, wl.weights)
+        .and_then(|i| i.with_extra_measure(mem.clone()))
+        .and_then(|i| i.with_extra_measure(io.clone()))
+        .expect("valid instance");
+    let solver = Solver::for_instance(&inst).classes(k).build().expect("valid configuration");
+    let report = solver.solve();
 
     println!("multi-balanced decomposition of {n} jobs into {k} parts:\n");
     println!("{:<10} {:>12} {:>12} {:>10}", "resource", "max class", "avg class", "max/avg");
-    for (name, m) in [("runtime", &wl.weights), ("memory", &mem), ("io", &io)] {
-        let cm = d.coloring.class_measures(m);
+    for (name, m) in [("runtime", &runtime), ("memory", &mem), ("io", &io)] {
+        let cm = report.coloring.class_measures(m);
         let avg: f64 = cm.iter().sum::<f64>() / k as f64;
         let max = cm.iter().cloned().fold(0.0, f64::max);
         println!("{name:<10} {max:>12.1} {avg:>12.1} {:>10.2}", max / avg);
     }
-    println!("\nruntime strictly balanced: {}", d.coloring.is_strictly_balanced(&wl.weights));
-    println!("max communication per part: {:.1}", d.max_boundary());
-    assert!(d.coloring.is_strictly_balanced(&wl.weights));
+    println!("\nruntime strictly balanced: {}", report.is_strictly_balanced());
+    println!("max communication per part: {:.1}", report.max_boundary);
+    assert!(report.is_strictly_balanced());
 }

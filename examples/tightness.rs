@@ -3,16 +3,15 @@
 //! pay, and the Theorem 4 upper bound sandwiches it to a constant.
 //!
 //! ```text
-//! cargo run --release -p mmb-bench --example tightness
+//! cargo run --release --example tightness
 //! ```
 
-use mmb_baselines::greedy::lpt;
-use mmb_baselines::multilevel::{multilevel, MultilevelParams};
-use mmb_baselines::recursive_bisection::recursive_bisection;
-use mmb_core::prelude::*;
+use mmb_baselines::greedy::Lpt;
+use mmb_baselines::multilevel::Multilevel;
+use mmb_baselines::recursive_bisection::RecursiveBisection;
+use mmb_core::api::{Instance, Partitioner, Theorem4Pipeline};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_instances::tight::{min_balanced_separation_cost, TightInstance};
-use mmb_splitters::grid::GridSplitter;
 
 fn main() {
     // Exhaustively certified mini example first: every balanced separation
@@ -25,42 +24,38 @@ fn main() {
     );
     println!("exhaustive certificate: every balanced separation of the 3×3 grid costs ≥ {b:.1}\n");
 
-    // The real instance: G̃ = ⌊k/4⌋ disjoint copies of a 12×12 grid.
+    // The real instance: G̃ = ⌊k/4⌋ disjoint copies of a 12×12 grid. The
+    // `Instance` carries the twin grid's geometry so every splitter-driven
+    // algorithm (ours, recursive bisection) gets GridSplit automatically.
     let k = 16;
     let tight = TightInstance::grid(12, k);
     let base = GridGraph::lattice(&[12, 12]);
     let twin = GridGraph::disjoint_copies(&base, k / 4);
-    let g = &tight.union.graph;
     println!(
         "G̃ = {} copies of the 12×12 grid ({} vertices); k = {k}",
         tight.union.copies,
-        g.num_vertices()
+        tight.union.graph.num_vertices()
     );
     println!(
         "certified: every roughly balanced {k}-coloring has avg boundary ≥ {:.3}\n",
         tight.avg_boundary_lower_bound()
     );
 
-    let sp = GridSplitter::new(&twin, &tight.union.costs);
-    let ours = decompose(
-        g, &tight.union.costs, &tight.weights, k, &sp, &[], &PipelineConfig::default(),
-    )
-    .expect("valid instance")
-    .coloring;
-    let candidates = [
-        ("ours (Thm 4)", ours),
-        ("greedy LPT", lpt(g.num_vertices(), k, &tight.weights)),
-        ("rec. bisection", recursive_bisection(g, &sp, &tight.weights, k)),
-        (
-            "multilevel",
-            multilevel(g, &tight.union.costs, &tight.weights, k, &MultilevelParams::default()),
-        ),
+    let inst = Instance::from_grid(twin, tight.union.costs.clone(), tight.weights.clone())
+        .expect("valid instance");
+    let algos: [&dyn Partitioner; 4] = [
+        &Theorem4Pipeline::default(),
+        &Lpt,
+        &RecursiveBisection { kst: false },
+        &Multilevel::default(),
     ];
     println!("{:<16} {:>10} {:>10} {:>12}", "algorithm", "avg ∂", "≥ LB?", "rough-bal?");
-    for (name, chi) in &candidates {
-        let (avg, lb, rough) = tight.check(chi);
+    for algo in algos {
+        let chi = algo.partition(&inst, k).expect("valid instance");
+        let (avg, lb, rough) = tight.check(&chi);
         println!(
-            "{name:<16} {avg:>10.2} {:>10} {:>12}",
+            "{:<16} {avg:>10.2} {:>10} {:>12}",
+            algo.name(),
             if avg >= lb { "yes" } else { "VIOLATION" },
             if rough { "yes" } else { "no" }
         );

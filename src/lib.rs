@@ -10,18 +10,27 @@
 //! package. See `README.md` for the crate map and `DESIGN.md` for the
 //! experiment index.
 //!
+//! The public API is `Instance` + `Solver` (in [`mmb_core::api`], re-exported
+//! here): validate the inputs once, build a reusable solver with an
+//! auto-selected splitter, and solve as often as you like:
+//!
 //! ```
+//! use mmb::core::api::{Instance, Solver, SplitterChoice};
 //! use mmb::graph::gen::grid::GridGraph;
-//! use mmb::core::{decompose, PipelineConfig};
-//! use mmb::splitters::grid::GridSplitter;
 //!
 //! let grid = GridGraph::lattice(&[8, 8]);
 //! let costs = vec![1.0; grid.graph.num_edges()];
 //! let weights = vec![1.0; grid.graph.num_vertices()];
-//! let sp = GridSplitter::new(&grid, &costs);
-//! let d = decompose(&grid.graph, &costs, &weights, 4, &sp, &[], &PipelineConfig::default())
-//!     .unwrap();
-//! assert!(d.coloring.is_strictly_balanced(&weights));
+//! let inst = Instance::from_grid(grid, costs, weights)?;
+//! let solver = Solver::for_instance(&inst)
+//!     .classes(4)
+//!     .p(2.0)
+//!     .splitter(SplitterChoice::Auto)
+//!     .build()?;
+//! let report = solver.solve(); // reusable — call again without rebuilding
+//! assert!(report.is_strictly_balanced());
+//! assert_eq!(solver.family(), "grid"); // GridSplit was auto-selected
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -20,7 +20,7 @@ fn greedy_balances_but_cuts_everything() {
     let n = g.num_vertices();
     let k = 8;
     let flat = vec![1.0; n];
-    let chi = first_fit(n, k, &flat);
+    let chi = first_fit(n, k, &flat).unwrap();
     assert!(chi.is_strictly_balanced(&flat));
     let total_cost: f64 = wl.costs.iter().sum();
     let avg_boundary = chi.avg_boundary_cost(g, &wl.costs);
@@ -42,8 +42,8 @@ fn ours_beats_greedy_on_boundary_and_rb_on_balance() {
 
     let ours = decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
         .unwrap();
-    let greedy = lpt(n, k, &wl.weights);
-    let rb = recursive_bisection(g, &sp, &wl.weights, k);
+    let greedy = lpt(n, k, &wl.weights).unwrap();
+    let rb = recursive_bisection(g, &sp, &wl.weights, k).unwrap();
 
     // (a) ours is strictly balanced; (b) far cheaper boundary than greedy;
     // (c) within a constant factor of RB's boundary despite strictness.
@@ -71,7 +71,7 @@ fn rb_is_not_strict_under_adversarial_weights() {
     let k = 16;
     let weights = WeightFamily::Spike.generate(n, 4);
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let rb = recursive_bisection(g, &sp, &weights, k);
+    let rb = recursive_bisection(g, &sp, &weights, k).unwrap();
     let ours = decompose(g, &wl.costs, &weights, k, &sp, &[], &PipelineConfig::default())
         .unwrap();
     assert!(ours.coloring.is_strictly_balanced(&weights));
@@ -92,8 +92,8 @@ fn kl_improves_rb_without_destroying_it() {
     let g = &wl.grid.graph;
     let k = 8;
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let rb = recursive_bisection(g, &sp, &wl.weights, k);
-    let refined = refine(g, &wl.costs, &wl.weights, &rb, &KlParams::default());
+    let rb = recursive_bisection(g, &sp, &wl.weights, k).unwrap();
+    let refined = refine(g, &wl.costs, &wl.weights, &rb, &KlParams::default()).unwrap();
     let total = |chi: &mmb_graph::Coloring| {
         chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()
     };
@@ -107,10 +107,10 @@ fn kst_variant_tracks_costs() {
     let g = &wl.grid.graph;
     let k = 8;
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
-    let kst = recursive_bisection_kst(g, &wl.costs, &sp, &wl.weights, k);
+    let kst = recursive_bisection_kst(g, &wl.costs, &sp, &wl.weights, k).unwrap();
     assert!(kst.is_total());
     // Sane boundary: within a constant of plain RB.
-    let rb = recursive_bisection(g, &sp, &wl.weights, k);
+    let rb = recursive_bisection(g, &sp, &wl.weights, k).unwrap();
     let kst_avg = kst.avg_boundary_cost(g, &wl.costs);
     let rb_avg = rb.avg_boundary_cost(g, &wl.costs);
     assert!(kst_avg <= 3.0 * rb_avg, "kst {kst_avg} vs rb {rb_avg}");
@@ -122,8 +122,8 @@ fn multilevel_and_round_robin_extremes() {
     let g = &wl.grid.graph;
     let n = g.num_vertices();
     let k = 8;
-    let ml = multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default());
-    let rr = round_robin(n, k);
+    let ml = multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default()).unwrap();
+    let rr = round_robin(n, k).unwrap();
     // Multilevel crushes round-robin on total cut.
     let total = |chi: &mmb_graph::Coloring| {
         chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()

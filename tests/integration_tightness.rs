@@ -33,12 +33,13 @@ fn nobody_beats_the_certificate() {
     .coloring;
     let candidates = [
         ("ours", ours),
-        ("lpt", lpt(g.num_vertices(), k, &tight.weights)),
-        ("first_fit", first_fit(g.num_vertices(), k, &tight.weights)),
-        ("rb", recursive_bisection(g, &sp, &tight.weights, k)),
+        ("lpt", lpt(g.num_vertices(), k, &tight.weights).unwrap()),
+        ("first_fit", first_fit(g.num_vertices(), k, &tight.weights).unwrap()),
+        ("rb", recursive_bisection(g, &sp, &tight.weights, k).unwrap()),
         (
             "multilevel",
-            multilevel(g, &tight.union.costs, &tight.weights, k, &MultilevelParams::default()),
+            multilevel(g, &tight.union.costs, &tight.weights, k, &MultilevelParams::default())
+                .unwrap(),
         ),
     ];
     for (name, chi) in &candidates {
