@@ -41,7 +41,11 @@ pub fn recursive_bisection<S: Splitter + ?Sized>(
 ) -> Result<Coloring, SolveError> {
     validate(g, weights, k)?;
     let mut chi = Coloring::new_uncolored(g.num_vertices(), k);
-    bisect(splitter, &VertexSet::full(g.num_vertices()), weights, 0, k, &mut chi);
+    for (color, part) in bisect(splitter, VertexSet::full(g.num_vertices()), weights, 0, k) {
+        for v in part.iter() {
+            chi.set(v, color as u32);
+        }
+    }
     Ok(chi)
 }
 
@@ -61,31 +65,51 @@ pub fn recursive_bisection_kst<S: Splitter + ?Sized>(
     let eta = if tau_total > 0.0 { norm_1(weights) / tau_total } else { 0.0 };
     let mixed: Vec<f64> = weights.iter().zip(&tau).map(|(w, t)| w + eta * t).collect();
     let mut chi = Coloring::new_uncolored(g.num_vertices(), k);
-    bisect(splitter, &VertexSet::full(g.num_vertices()), &mixed, 0, k, &mut chi);
+    for (color, part) in bisect(splitter, VertexSet::full(g.num_vertices()), &mixed, 0, k) {
+        for v in part.iter() {
+            chi.set(v, color as u32);
+        }
+    }
     Ok(chi)
 }
 
+/// Recursively bisect `set`, returning the `(color, part)` leaves.
+///
+/// The two halves of a bisection are independent, so they run through
+/// [`rayon::join`]; the leaf list is assembled left-before-right, making
+/// the result identical to the sequential recursion for any thread count.
 fn bisect<S: Splitter + ?Sized>(
     splitter: &S,
-    set: &VertexSet,
+    set: VertexSet,
     weights: &[f64],
     color_lo: usize,
     colors: usize,
-    out: &mut Coloring,
-) {
+) -> Vec<(usize, VertexSet)> {
     if colors == 1 {
-        for v in set.iter() {
-            out.set(v, color_lo as u32);
-        }
-        return;
+        return vec![(color_lo, set)];
     }
     let k1 = colors / 2;
-    let total = set_sum(weights, set);
+    let total = set_sum(weights, &set);
     let target = total * k1 as f64 / colors as f64;
-    let u = splitter.split(set, weights, target);
+    let u = splitter.split(&set, weights, target);
     let rest = set.difference(&u);
-    bisect(splitter, &u, weights, color_lo, k1, out);
-    bisect(splitter, &rest, weights, color_lo + k1, colors - k1, out);
+    // Workers are fresh threads; carry the caller's thread-local scratch
+    // mode into both branches.
+    let mode = mmb_graph::workspace::scratch_mode();
+    let (mut left, right) = rayon::join(
+        || {
+            mmb_graph::workspace::with_scratch_mode(mode, || {
+                bisect(splitter, u, weights, color_lo, k1)
+            })
+        },
+        || {
+            mmb_graph::workspace::with_scratch_mode(mode, || {
+                bisect(splitter, rest, weights, color_lo + k1, colors - k1)
+            })
+        },
+    );
+    left.extend(right);
+    left
 }
 
 /// Recursive bisection as a [`Partitioner`], driven by the instance's

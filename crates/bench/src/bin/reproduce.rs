@@ -1,31 +1,82 @@
 //! Reproduce every experiment table (E1–E12; see `DESIGN.md` §5 for the
-//! per-theorem index, `EXPERIMENTS.md` for recorded results).
+//! per-theorem index, `EXPERIMENTS.md` for recorded results) and record
+//! the perf baselines.
 //!
 //! ```text
-//! reproduce [--quick] [e1 e2 … | all]
+//! reproduce [--quick] [e1 e2 … | all]      # experiment tables
+//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_3.json
+//! reproduce bench-verify PATH              # CI guard: file exists + valid
 //! ```
 
-use mmb_bench::experiments;
+use mmb_bench::{experiments, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let ids: Vec<&str> = args
+    let words: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with('-'))
         .map(|s| s.as_str())
         .collect();
-    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
-        experiments::ALL.to_vec()
-    } else {
-        ids
-    };
-    let mode = if quick { "quick" } else { "full" };
-    println!("# min-max boundary decomposition — experiment reproduction ({mode} mode)");
-    for id in ids {
-        match experiments::run(id, quick) {
-            Some(table) => table.print(),
-            None => eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL),
+
+    match words.first() {
+        Some(&"bench") => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_3.json".to_string());
+            let report = perf::run(quick);
+            let json = report.to_json();
+            // Self-check before writing: an emitted file always validates.
+            if let Err(e) = perf::validate_bench_json(&json) {
+                eprintln!("internal error: emitted JSON is invalid: {e}");
+                std::process::exit(1);
+            }
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            print!("{}", report.summary());
+            println!("wrote {out}");
+        }
+        Some(&"bench-verify") => {
+            let Some(path) = words.get(1) else {
+                eprintln!("usage: reproduce bench-verify <path>");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: missing or unreadable: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match perf::validate_bench_json(&text) {
+                Ok(()) => println!("{path}: valid mmb-bench-3 document"),
+                Err(e) => {
+                    eprintln!("{path}: malformed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            let ids: Vec<&str> = if words.is_empty() || words.contains(&"all") {
+                experiments::ALL.to_vec()
+            } else {
+                words
+            };
+            let mode = if quick { "quick" } else { "full" };
+            println!("# min-max boundary decomposition — experiment reproduction ({mode} mode)");
+            for id in ids {
+                match experiments::run(id, quick) {
+                    Some(table) => table.print(),
+                    None => {
+                        eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL)
+                    }
+                }
+            }
         }
     }
 }

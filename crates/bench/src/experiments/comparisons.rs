@@ -25,6 +25,7 @@ use mmb_splitters::separator::{
 };
 use mmb_splitters::tree::TreeSplitter;
 use mmb_splitters::Splitter;
+use rayon::prelude::*;
 
 use crate::table::Table;
 use crate::{fmt, run_scored};
@@ -84,22 +85,41 @@ pub fn e4(quick: bool) -> Table {
         &RecursiveBisection { kst: false },
         &Multilevel::default(),
     ];
-    for &k in ks {
-        let tight = TightInstance::grid(side, k);
-        let inst = tight_instance(&tight, side, k);
-        let lb = tight.avg_boundary_lower_bound();
-        for algo in algos {
-            let chi = algo.partition(&inst, k).expect("valid instance");
-            let (avg, lower, rough) = tight.check(&chi);
-            t.row(vec![
-                k.to_string(),
-                algo.name().into(),
-                fmt(avg),
-                fmt(lower),
-                fmt(avg / lb.max(1e-300)),
-                if rough { "yes".into() } else { "no*".into() },
-                if chi.is_strictly_balanced(&tight.weights) { "yes".into() } else { "no".into() },
-            ]);
+    // Per-instance loop on the thread pool: each `k` builds its own tight
+    // instance (certificate search included) and scores every algorithm;
+    // rows are re-assembled in `k` order, so the table is identical to the
+    // sequential loop's for any thread count.
+    let row_blocks: Vec<Vec<Vec<String>>> = ks
+        .par_iter()
+        .map(|&k| {
+            let tight = TightInstance::grid(side, k);
+            let inst = tight_instance(&tight, side, k);
+            let lb = tight.avg_boundary_lower_bound();
+            algos
+                .iter()
+                .map(|algo| {
+                    let chi = algo.partition(&inst, k).expect("valid instance");
+                    let (avg, lower, rough) = tight.check(&chi);
+                    vec![
+                        k.to_string(),
+                        algo.name().into(),
+                        fmt(avg),
+                        fmt(lower),
+                        fmt(avg / lb.max(1e-300)),
+                        if rough { "yes".into() } else { "no*".into() },
+                        if chi.is_strictly_balanced(&tight.weights) {
+                            "yes".into()
+                        } else {
+                            "no".into()
+                        },
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    for block in row_blocks {
+        for row in block {
+            t.row(row);
         }
     }
     t.note("LB applies to roughly balanced colorings (‖wχ⁻¹‖∞ ≤ 2·avg); avg/LB ≥ 1 reproduces the bound");

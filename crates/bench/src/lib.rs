@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 use mmb_core::api::{Instance, Partitioner, SolveError};

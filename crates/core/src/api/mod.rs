@@ -42,4 +42,4 @@ pub use error::{validate_costs, validate_weights, InstanceError, SolveError};
 pub use instance::Instance;
 pub use partitioner::{Partitioner, Theorem4Pipeline};
 pub use report::{ClassRow, Report, StageReport};
-pub use solver::{auto_splitter, Solver, SolverBuilder, SplitterChoice};
+pub use solver::{auto_splitter, solve_many, Solver, SolverBuilder, SplitterChoice};

@@ -20,7 +20,11 @@ use crate::api::solver::Solver;
 use crate::pipeline::PipelineConfig;
 
 /// A `k`-way partitioning algorithm, scored uniformly by the harness.
-pub trait Partitioner {
+///
+/// `Sync` is a supertrait so the harness can fan per-instance runs out
+/// over the thread pool (`&dyn Partitioner` travels into workers); every
+/// implementation in the workspace is a stateless adapter.
+pub trait Partitioner: Sync {
     /// Short algorithm name for tables and reports.
     fn name(&self) -> &str;
 

@@ -71,6 +71,10 @@ pub struct Report {
     pub strict: bool,
     /// Intermediate colorings, for ablation experiments.
     pub stages: StageReport,
+    /// Wall-clock milliseconds per pipeline stage
+    /// `[Prop 7, Prop 11, Prop 12]` of the solve that produced this
+    /// report (perf baselines; `BENCH_3.json`).
+    pub stage_millis: [f64; 3],
 }
 
 impl Report {
@@ -108,6 +112,7 @@ impl Report {
             stages: StageReport { multibalanced: stage1, almost_strict: stage2 },
             boundary_costs,
             coloring: stage3,
+            stage_millis: [0.0; 3],
         }
     }
 

@@ -29,19 +29,21 @@
 //! ```
 
 use mmb_graph::recognize::Structure;
+use mmb_graph::workspace::Workspace;
 use mmb_splitters::bfs::BfsSplitter;
 use mmb_splitters::grid::GridSplitter;
 use mmb_splitters::order::OrderSplitter;
 use mmb_splitters::tree::TreeSplitter;
 use mmb_splitters::Splitter;
+use rayon::prelude::*;
 
 use crate::api::error::SolveError;
 use crate::api::instance::Instance;
 use crate::api::report::Report;
-use crate::multibalance::multibalance_minmax_with_pi;
+use crate::multibalance::multibalance_minmax_with_pi_ws;
 use crate::pi::splitting_cost_measure_within;
-use crate::pipeline::PipelineConfig;
-use crate::shrink::{almost_strict, ShrinkParams};
+use crate::pipeline::{PipelineConfig, ScratchPolicy};
+use crate::shrink::{almost_strict_ws, ShrinkParams};
 use crate::strict::binpack2;
 
 /// Which splitter family drives the pipeline.
@@ -242,20 +244,32 @@ impl<'i> Solver<'i> {
 
     /// Run the Theorem 4 pipeline (Proposition 7 → 11 → 12) and return a
     /// structured [`Report`]. Infallible: everything that can fail was
-    /// checked at build time. Call repeatedly to amortize the build.
+    /// checked at build time. Call repeatedly to amortize the build; the
+    /// dense scratch buffers come from this thread's pooled
+    /// [`Workspace`] (or fresh allocations under
+    /// [`ScratchPolicy::Transient`]) and are amortized across calls too.
     pub fn solve(&self) -> Report {
+        mmb_graph::workspace::with_scratch_mode(self.cfg.scratch, || match self.cfg.scratch {
+            ScratchPolicy::Reuse => Workspace::with_local(|ws| self.solve_in(ws)),
+            ScratchPolicy::Transient => self.solve_in(&Workspace::transient()),
+        })
+    }
+
+    fn solve_in(&self, ws: &Workspace) -> Report {
         let inst = self.inst;
         let (g, costs, weights) = (inst.graph(), inst.costs(), inst.weights());
         let domain = inst.domain();
         let user = inst.balance_measures();
 
-        let stage1 = multibalance_minmax_with_pi(
-            g, costs, &self.splitter, self.k, domain, &user, &self.pi,
+        let t0 = std::time::Instant::now();
+        let stage1 = multibalance_minmax_with_pi_ws(
+            g, costs, &self.splitter, self.k, domain, &user, &self.pi, ws,
         );
+        let t1 = std::time::Instant::now();
         let stage2 = if self.cfg.skip_shrink {
             stage1.coloring.clone()
         } else {
-            almost_strict(
+            almost_strict_ws(
                 g,
                 costs,
                 &self.splitter,
@@ -264,12 +278,15 @@ impl<'i> Solver<'i> {
                 weights,
                 self.cfg.p,
                 &self.cfg.shrink,
+                ws,
             )
         };
+        let t2 = std::time::Instant::now();
         let stage3 = binpack2(g, &self.splitter, &stage2, domain, weights);
+        let t3 = std::time::Instant::now();
         debug_assert!(stage3.is_total(), "pipeline must color every vertex");
 
-        Report::assemble(
+        let mut report = Report::assemble(
             g,
             costs,
             weights,
@@ -282,7 +299,13 @@ impl<'i> Solver<'i> {
             stage1.coloring,
             stage2,
             stage3,
-        )
+        );
+        report.stage_millis = [
+            (t1 - t0).as_secs_f64() * 1e3,
+            (t2 - t1).as_secs_f64() * 1e3,
+            (t3 - t2).as_secs_f64() * 1e3,
+        ];
+        report
     }
 
     /// The instance this solver is bound to.
@@ -325,4 +348,35 @@ impl std::fmt::Debug for Solver<'_> {
             .field("family", &self.family)
             .finish()
     }
+}
+
+/// Solve a batch of instances with a shared configuration — the
+/// "serve many requests" entry point.
+///
+/// Instances are distributed over the `rayon` worker pool
+/// (`RAYON_NUM_THREADS`-style override honored); each worker builds the
+/// per-instance [`Solver`] with [`SplitterChoice::Auto`] and reuses its
+/// **thread-local [`Workspace`]** across every instance it processes, so a
+/// stream of requests pays for splitter construction once per instance and
+/// for scratch allocation (almost) never.
+///
+/// Deterministic: results come back in input order, and each coloring is
+/// bit-identical to what a one-at-a-time
+/// `Solver::for_instance(inst).classes(k).config(cfg).build()?.solve()`
+/// produces, for any thread count (property-tested in `tests/api.rs`).
+pub fn solve_many(
+    instances: &[Instance],
+    k: usize,
+    cfg: &PipelineConfig,
+) -> Vec<Result<Report, SolveError>> {
+    instances
+        .par_iter()
+        .map(|inst| {
+            Solver::for_instance(inst)
+                .classes(k)
+                .config(cfg.clone())
+                .build()
+                .map(|solver| solver.solve())
+        })
+        .collect()
 }

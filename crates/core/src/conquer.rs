@@ -17,6 +17,8 @@ use mmb_graph::measure::{set_max, set_sum};
 use mmb_graph::{Coloring, Graph, VertexSet};
 use mmb_splitters::Splitter;
 
+use crate::strict::carve_classes;
+
 /// `BinPack1` (Lemma 15).
 ///
 /// * `chi0` must be total on `w0_set`.
@@ -40,13 +42,10 @@ pub fn binpack1<S: Splitter + ?Sized>(
     assert_eq!(w1.len(), k, "w1 must have one entry per color");
     let wmax = wmax.max(set_max(weights, w0_set));
 
-    let mut classes: Vec<VertexSet> = (0..k as u32)
-        .map(|i| chi0.class_set(i).intersection(w0_set))
-        .collect();
+    let classes = chi0.class_sets_within(w0_set);
     let cw = |c: &VertexSet| set_sum(weights, c);
     let w_total: f64 = classes.iter().map(&cw).sum::<f64>() + w1.iter().sum::<f64>();
     let w_star = w_total / k as f64;
-    let mut buffer: Vec<VertexSet> = Vec::new();
 
     if wmax <= 0.0 {
         // All weights zero: any coloring is exactly balanced.
@@ -54,31 +53,39 @@ pub fn binpack1<S: Splitter + ?Sized>(
     }
 
     // Step 2: shed pieces of weight ∈ [‖w‖∞, 2‖w‖∞] from overweight colors
-    // until every color satisfies w + w₁ ≤ w*.
-    for i in 0..k {
-        while cw(&classes[i]) + w1[i] > w_star && !classes[i].is_empty() {
-            let class_weight = cw(&classes[i]);
-            let x = if class_weight <= 2.0 * wmax {
-                std::mem::replace(&mut classes[i], VertexSet::empty(n))
-            } else {
-                let x = splitter.split(&classes[i], weights, 1.5 * wmax);
-                if x.is_empty() || set_sum(weights, &x) <= 0.0 {
-                    // Defensive: peel the heaviest single vertex instead.
-                    let heaviest = classes[i]
-                        .iter()
-                        .max_by(|&a, &b| {
-                            weights[a as usize].partial_cmp(&weights[b as usize]).unwrap()
-                        })
-                        .unwrap();
-                    VertexSet::from_iter(n, [heaviest])
+    // until every color satisfies w + w₁ ≤ w*. Colors shed independently
+    // (the buffer only collects), so [`carve_classes`] fans the cut-down
+    // out per color.
+    let (mut classes, mut buffer) = carve_classes(
+        classes.into_iter().zip(w1.iter().copied()),
+        w0_set.len(),
+        |(mut class, w1_i): (VertexSet, f64)| {
+            let mut pieces = Vec::new();
+            while cw(&class) + w1_i > w_star && !class.is_empty() {
+                let class_weight = cw(&class);
+                let x = if class_weight <= 2.0 * wmax {
+                    std::mem::replace(&mut class, VertexSet::empty(n))
                 } else {
-                    x
-                }
-            };
-            classes[i].difference_with(&x);
-            buffer.push(x);
-        }
-    }
+                    let x = splitter.split(&class, weights, 1.5 * wmax);
+                    if x.is_empty() || set_sum(weights, &x) <= 0.0 {
+                        // Defensive: peel the heaviest single vertex instead.
+                        let heaviest = class
+                            .iter()
+                            .max_by(|&a, &b| {
+                                weights[a as usize].partial_cmp(&weights[b as usize]).unwrap()
+                            })
+                            .unwrap();
+                        VertexSet::from_iter(n, [heaviest])
+                    } else {
+                        x
+                    }
+                };
+                class.difference_with(&x);
+                pieces.push(x);
+            }
+            (class, pieces)
+        },
+    );
 
     // Step 3: refill colors that are far below the average.
     while let Some(i) = (0..k).find(|&i| cw(&classes[i]) + w1[i] < w_star - 2.0 * wmax) {

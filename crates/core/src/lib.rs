@@ -85,18 +85,21 @@ pub mod two_color;
 pub mod verify;
 
 pub use api::{
-    auto_splitter, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
+    auto_splitter, solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
     SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
-pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};
+pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy};
 
 /// Commonly used items for downstream crates.
 pub mod prelude {
     pub use crate::api::{
-        Instance, InstanceError, Partitioner, Report, SolveError, Solver, SplitterChoice,
+        solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
+        SplitterChoice,
     };
     pub use crate::bounds;
     pub use crate::pi::splitting_cost_measure;
-    pub use crate::pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig};
+    pub use crate::pipeline::{
+        decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy,
+    };
     pub use crate::verify::{verify_decomposition, DecompositionReport};
 }

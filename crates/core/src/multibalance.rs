@@ -3,7 +3,8 @@
 //!
 //! * [`multibalance`] builds a coloring balanced with respect to **all**
 //!   given measures by induction on their number: the base is the
-//!   monochromatic coloring, and each step is one [`rebalance`] run that
+//!   monochromatic coloring, and each step is one
+//!   [`rebalance`](crate::rebalance::rebalance) run that
 //!   adds balance in one more measure while degrading the others by at most
 //!   a constant factor (Lemma 9).
 //! * [`multibalance_minmax`] is Proposition 7: first balance the
@@ -13,11 +14,12 @@
 //!   rebalance, with the dynamic measure `Φ^{(r+1)}` controlling the
 //!   χ-monochromatic boundary `∂′` along the move-forest (Claims 8–11).
 
+use mmb_graph::workspace::Workspace;
 use mmb_graph::{Coloring, Graph, VertexSet};
 use mmb_splitters::Splitter;
 
 use crate::pi::splitting_cost_measure_within;
-use crate::rebalance::{rebalance, RebalanceStats};
+use crate::rebalance::{rebalance_ws, RebalanceStats, ScratchDynamicMeasureFn};
 
 /// Heavy-threshold coefficient for a rebalance over `r` measures: the
 /// paper's `2^r` (capped to keep thresholds meaningful for large `r`).
@@ -34,6 +36,18 @@ pub fn multibalance<S: Splitter + ?Sized>(
     domain: &VertexSet,
     measures: &[&[f64]],
 ) -> Coloring {
+    Workspace::with_local(|ws| multibalance_ws(splitter, k, domain, measures, ws))
+}
+
+/// [`multibalance`] against an explicit [`Workspace`] shared by every
+/// [`rebalance_ws`] round.
+pub fn multibalance_ws<S: Splitter + ?Sized>(
+    splitter: &S,
+    k: usize,
+    domain: &VertexSet,
+    measures: &[&[f64]],
+    ws: &Workspace,
+) -> Coloring {
     let n = domain.universe();
     let mut chi = Coloring::new_uncolored(n, k);
     for v in domain.iter() {
@@ -43,7 +57,8 @@ pub fn multibalance<S: Splitter + ?Sized>(
     // balance in measures[j] while keeping measures[j+1..] balanced.
     for j in (0..measures.len()).rev() {
         let suffix = &measures[j..];
-        let (next, _) = rebalance(splitter, &chi, domain, suffix, heavy_factor(suffix.len()), None);
+        let (next, _) =
+            rebalance_ws(splitter, &chi, domain, suffix, heavy_factor(suffix.len()), None, ws);
         chi = next;
     }
     chi
@@ -95,6 +110,26 @@ pub fn multibalance_minmax_with_pi<S: Splitter + ?Sized>(
     user_measures: &[&[f64]],
     pi: &[f64],
 ) -> MinMaxBalanced {
+    Workspace::with_local(|ws| {
+        multibalance_minmax_with_pi_ws(g, costs, splitter, k, domain, user_measures, pi, ws)
+    })
+}
+
+/// [`multibalance_minmax_with_pi`] against an explicit [`Workspace`]:
+/// `Ψ`, the monochromatic-edge marks and every per-`Move` dynamic measure
+/// live in reusable scratch buffers (zero per-call allocation beyond the
+/// colorings themselves).
+#[allow(clippy::too_many_arguments)] // the paper's parameters plus π and the workspace
+pub fn multibalance_minmax_with_pi_ws<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    splitter: &S,
+    k: usize,
+    domain: &VertexSet,
+    user_measures: &[&[f64]],
+    pi: &[f64],
+    ws: &Workspace,
+) -> MinMaxBalanced {
     let n = g.num_vertices();
     assert_eq!(costs.len(), g.num_edges(), "cost vector length mismatch");
     assert_eq!(pi.len(), n, "π measure length mismatch");
@@ -103,55 +138,56 @@ pub fn multibalance_minmax_with_pi<S: Splitter + ?Sized>(
     let chi = {
         let mut ms: Vec<&[f64]> = vec![pi];
         ms.extend_from_slice(user_measures);
-        multibalance(splitter, k, domain, &ms)
+        multibalance_ws(splitter, k, domain, &ms, ws)
     };
 
-    // Ψ(v) = cost of χ-bichromatic edges at v; E′ = monochromatic edges.
-    let mut psi = vec![0.0; n];
-    let mut mono = vec![false; g.num_edges()];
+    // Ψ(v) = cost of χ-bichromatic edges at v; E′ = monochromatic edges
+    // (marked 1.0 in an edge-indexed scratch buffer).
+    let mut psi = ws.measure(n);
+    let mut mono = ws.measure(g.num_edges());
     for (e, &(u, v)) in g.edge_list().iter().enumerate() {
         if !domain.contains(u) || !domain.contains(v) {
             continue;
         }
         let (cu, cv) = (chi.get(u), chi.get(v));
         if cu == cv {
-            mono[e] = true;
+            mono.set(e as u32, 1.0);
         } else {
-            psi[u as usize] += costs[e];
-            psi[v as usize] += costs[e];
+            psi.add(u, costs[e]);
+            psi.add(v, costs[e]);
         }
     }
+    let mono = &mono;
 
     // Dynamic measure Φ^{(r+1)}: at Move(i) time, the χ-monochromatic
     // boundary cost of Vin(i) attributed to its vertices:
     // Φ(v) = c(δ(v) ∩ δ(Vin(i)) ∩ E′) for v ∈ Vin(i), else 0.
-    let mut hook = |_i: u32, vin: &VertexSet| -> Vec<f64> {
-        let mut m = vec![0.0; n];
+    let mut hook = |_i: u32, vin: &VertexSet, m: &mut mmb_graph::ScratchMeasure<'_>| {
         for v in vin.iter() {
             for &(nb, e) in g.neighbors(v) {
-                if mono[e as usize] && !vin.contains(nb) {
-                    m[v as usize] += costs[e as usize];
+                if mono.get(e) != 0.0 && !vin.contains(nb) {
+                    m.add(v, costs[e as usize]);
                 }
             }
         }
-        m
     };
 
     // Final rebalance: Φ^{(1)} = Ψ, Φ^{(2)} = π, then the user measures;
     // the dynamic measure is appended per Move. Heavy factor counts all
     // r + 1 measures.
     let measures: Vec<&[f64]> = {
-        let mut ms: Vec<&[f64]> = vec![&psi, pi];
+        let mut ms: Vec<&[f64]> = vec![psi.as_slice(), pi];
         ms.extend_from_slice(user_measures);
         ms
     };
-    let (coloring, stats) = rebalance(
+    let (coloring, stats) = rebalance_ws(
         splitter,
         &chi,
         domain,
         &measures,
         heavy_factor(measures.len() + 1),
-        Some(&mut hook),
+        Some(&mut hook as &mut ScratchDynamicMeasureFn<'_>),
+        ws,
     );
     MinMaxBalanced { coloring, intermediate: chi, stats }
 }

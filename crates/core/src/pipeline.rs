@@ -34,6 +34,19 @@ pub use crate::api::error::{InstanceError, SolveError};
 /// problems arrive as [`SolveError::Instance`].
 pub type DecomposeError = SolveError;
 
+/// How the pipeline sources the dense scratch measures (`π`, boundary
+/// measures, induced degrees, `Ψ`) its stages materialize, and which
+/// implementation family allocation-sensitive inner loops use.
+///
+/// `Reuse` (default) is the overhauled hot path: this thread's pooled
+/// [`Workspace`](mmb_graph::Workspace) (`O(touched)` per buffer instead
+/// of `O(n)`) and the allocation-free inner loops. `Transient` preserves
+/// the **pre-overhaul reference implementations** — fresh buffers and
+/// per-call allocation — so the `BENCH_3.json` perf baselines can report
+/// old-vs-new side by side. Both policies produce **bit-identical
+/// colorings** (property-tested); only cost profiles differ.
+pub type ScratchPolicy = mmb_graph::workspace::ScratchMode;
+
 /// Configuration of the decomposition pipeline.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
@@ -45,11 +58,18 @@ pub struct PipelineConfig {
     /// Skip the shrink stage and go straight from Proposition 7 to
     /// BinPack2 (ablation switch for experiment E8).
     pub skip_shrink: bool,
+    /// Scratch-buffer sourcing (see [`ScratchPolicy`]; default reuse).
+    pub scratch: ScratchPolicy,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { p: 2.0, shrink: ShrinkParams::default(), skip_shrink: false }
+        Self {
+            p: 2.0,
+            shrink: ShrinkParams::default(),
+            skip_shrink: false,
+            scratch: ScratchPolicy::Reuse,
+        }
     }
 }
 

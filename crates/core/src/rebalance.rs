@@ -18,6 +18,7 @@
 //! `O(t(|G|)·log k)` running time of Theorem 4.
 
 use mmb_graph::measure::{set_max, set_sum};
+use mmb_graph::workspace::{ScratchMeasure, Workspace};
 use mmb_graph::{Coloring, VertexId, VertexSet};
 use mmb_splitters::Splitter;
 
@@ -28,6 +29,11 @@ use crate::two_color::two_color;
 /// `Vin(i)`, return a dense measure to include in the Lemma 8 call for
 /// `Vout(i)`.
 pub type DynamicMeasureFn<'a> = dyn FnMut(u32, &VertexSet) -> Vec<f64> + 'a;
+
+/// Workspace-backed variant of [`DynamicMeasureFn`]: the hook *fills* a
+/// zeroed scratch measure instead of allocating a dense vector per `Move`
+/// — the hot-path shape used by [`rebalance_ws`].
+pub type ScratchDynamicMeasureFn<'a> = dyn FnMut(u32, &VertexSet, &mut ScratchMeasure<'_>) + 'a;
 
 /// Diagnostics of a rebalancing run.
 #[derive(Clone, Debug, Default)]
@@ -57,6 +63,46 @@ pub fn rebalance<S: Splitter + ?Sized>(
     measures: &[&[f64]],
     heavy_factor: f64,
     mut dynamic: Option<&mut DynamicMeasureFn<'_>>,
+) -> (Coloring, RebalanceStats) {
+    // Adapt the legacy Vec-returning hook onto the scratch-filling shape;
+    // the dense views are identical, so so are the results. This compat
+    // path pays the hook's original O(n) allocation *plus* one O(n) copy
+    // per Move — fine for its remaining users (tests, external callers of
+    // the legacy signature); hot-path callers use `rebalance_ws` with a
+    // scratch-filling hook directly.
+    let mut adapted = dynamic.as_mut().map(|f| {
+        move |i: u32, vin: &VertexSet, sm: &mut ScratchMeasure<'_>| {
+            for (v, &x) in f(i, vin).iter().enumerate() {
+                if x != 0.0 {
+                    sm.set(v as VertexId, x);
+                }
+            }
+        }
+    });
+    Workspace::with_local(|ws| {
+        rebalance_ws(
+            splitter,
+            chi,
+            domain,
+            measures,
+            heavy_factor,
+            adapted.as_mut().map(|f| f as &mut ScratchDynamicMeasureFn<'_>),
+            ws,
+        )
+    })
+}
+
+/// [`rebalance`] against an explicit [`Workspace`], with the dynamic
+/// measure written into a reusable scratch buffer per `Move` instead of a
+/// fresh `O(n)` vector.
+pub fn rebalance_ws<S: Splitter + ?Sized>(
+    splitter: &S,
+    chi: &Coloring,
+    domain: &VertexSet,
+    measures: &[&[f64]],
+    heavy_factor: f64,
+    mut dynamic: Option<&mut ScratchDynamicMeasureFn<'_>>,
+    ws: &Workspace,
 ) -> (Coloring, RebalanceStats) {
     assert!(!measures.is_empty(), "need at least the measure to balance");
     let k = chi.k();
@@ -136,12 +182,17 @@ pub fn rebalance<S: Splitter + ?Sized>(
         let w_out = x_set.difference(&u);
 
         // 2-color Vout(i) by Lemma 8, balancing all measures plus the
-        // optional dynamic measure (Proposition 7's Φ^{(r+1)}).
-        let dyn_measure = dynamic.as_mut().map(|f| f(i, &vin[iu]));
+        // optional dynamic measure (Proposition 7's Φ^{(r+1)}), filled
+        // into a scratch buffer that is re-zeroed after the call.
+        let dyn_measure = dynamic.as_mut().map(|f| {
+            let mut sm = ws.measure(n);
+            f(i, &vin[iu], &mut sm);
+            sm
+        });
         let halves = {
             let mut ms: Vec<&[f64]> = measures.to_vec();
-            if let Some(dm) = dyn_measure.as_deref() {
-                ms.push(dm);
+            if let Some(dm) = dyn_measure.as_ref() {
+                ms.push(dm.as_slice());
             }
             two_color(splitter, &w_out, &ms)
         };

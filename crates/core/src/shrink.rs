@@ -30,13 +30,14 @@
 //! enforces eq. (1) exactly), only the boundary-cost constant does — which
 //! experiment E8 measures. Deviations are flagged with `// paper:` comments.
 
-use mmb_graph::cut::boundary_measure;
-use mmb_graph::measure::{induced_degree_measure, set_max, set_sum};
+use mmb_graph::cut::boundary_measure_ws;
+use mmb_graph::measure::{induced_degree_measure_ws, set_max, set_sum};
+use mmb_graph::workspace::Workspace;
 use mmb_graph::{Coloring, Graph, VertexSet};
 use mmb_splitters::Splitter;
 
 use crate::conquer::binpack1;
-use crate::pi::splitting_cost_measure_within;
+use crate::pi::splitting_cost_measure_within_ws;
 
 /// Tunables of the shrinking procedure.
 #[derive(Clone, Copy, Debug)]
@@ -176,6 +177,25 @@ pub fn shrink<S: Splitter + ?Sized>(
     p: f64,
     params: &ShrinkParams,
 ) -> ShrinkOutput {
+    Workspace::with_local(|ws| shrink_ws(g, costs, splitter, chi, domain, weights, p, params, ws))
+}
+
+/// [`shrink`] against an explicit [`Workspace`]: every dense measure this
+/// level materializes (`π`, `deg_W`, per-class boundary measures) comes
+/// from the reusable scratch pool, so one shrink level costs
+/// `O(vol(W) + k)` in buffer work instead of `O(n)` per measure.
+#[allow(clippy::too_many_arguments)] // the paper's parameters plus the workspace
+pub fn shrink_ws<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    splitter: &S,
+    chi: &Coloring,
+    domain: &VertexSet,
+    weights: &[f64],
+    p: f64,
+    params: &ShrinkParams,
+    ws: &Workspace,
+) -> ShrinkOutput {
     let n = g.num_vertices();
     let k = chi.k();
     let eps = params.epsilon;
@@ -186,20 +206,21 @@ pub fn shrink<S: Splitter + ?Sized>(
 
     // Protected measures that must shrink geometrically: π and the induced
     // degree (Definition 13 uses deg_W to control |G[W₁]|); the per-class
-    // boundary measure is added per extraction call.
-    let pi = splitting_cost_measure_within(g, costs, p, 1.0, domain);
-    let deg_w = induced_degree_measure(g, domain);
+    // boundary measure is added per extraction call. All three live in
+    // reusable workspace buffers.
+    let pi = splitting_cost_measure_within_ws(g, costs, p, 1.0, domain, ws);
+    let pi = pi.as_slice();
+    let deg_w = induced_degree_measure_ws(g, domain, ws);
+    let deg_w = deg_w.as_slice();
 
-    let mut classes: Vec<VertexSet> = (0..k as u32)
-        .map(|i| chi.class_set(i).intersection(domain))
-        .collect();
+    let mut classes: Vec<VertexSet> = chi.class_sets_within(domain);
     let class_w = |c: &VertexSet| set_sum(weights, c);
     let mut buffer: Vec<VertexSet> = Vec::new();
 
     // CutDown: classes above M/2·Ψ* shed lean pieces of weight ≈ ε·Ψ*.
     while let Some(i) = (0..k).find(|&i| class_w(&classes[i]) > m_cap / 2.0 * psi_star) {
-        let bm = boundary_measure(g, costs, &classes[i]);
-        let protected: [&[f64]; 3] = [&pi, &deg_w, &bm];
+        let bm = boundary_measure_ws(g, costs, &classes[i], ws);
+        let protected: [&[f64]; 3] = [pi, deg_w, bm.as_slice()];
         let x = extract_lean(splitter, &classes[i], weights, &protected, eps * psi_star);
         if x.is_empty() || x.len() >= classes[i].len() {
             break; // defensive: no usable piece
@@ -221,8 +242,8 @@ pub fn shrink<S: Splitter + ?Sized>(
                 .filter(|&j| j != i && class_w(&classes[j]) >= psi_star / 2.0)
                 .max_by(|&a, &b| class_w(&classes[a]).partial_cmp(&class_w(&classes[b])).unwrap());
             let Some(j) = donor else { continue };
-            let bm = boundary_measure(g, costs, &classes[j]);
-            let protected: [&[f64]; 3] = [&pi, &deg_w, &bm];
+            let bm = boundary_measure_ws(g, costs, &classes[j], ws);
+            let protected: [&[f64]; 3] = [pi, deg_w, bm.as_slice()];
             let x = extract_lean(splitter, &classes[j], weights, &protected, eps * psi_star);
             if x.is_empty() || x.len() >= classes[j].len() {
                 continue;
@@ -251,8 +272,8 @@ pub fn shrink<S: Splitter + ?Sized>(
             continue;
         }
         let gamma = (eps * psi_star / cw).min(1.0);
-        let bm = boundary_measure(g, costs, class);
-        let protected: [&[f64]; 3] = [&pi, &deg_w, &bm];
+        let bm = boundary_measure_ws(g, costs, class, ws);
+        let protected: [&[f64]; 3] = [pi, deg_w, bm.as_slice()];
         let x = if gamma >= 1.0 {
             class.clone()
         } else {
@@ -284,7 +305,28 @@ pub fn almost_strict<S: Splitter + ?Sized>(
     p: f64,
     params: &ShrinkParams,
 ) -> Coloring {
-    almost_strict_rec(g, costs, splitter, chi, domain, weights, p, params, 0)
+    Workspace::with_local(|ws| {
+        almost_strict_ws(g, costs, splitter, chi, domain, weights, p, params, ws)
+    })
+}
+
+/// [`almost_strict`] against an explicit [`Workspace`], shared by **every
+/// recursion level**: the shrink-and-conquer descent re-uses the same few
+/// scratch buffers from the root call down to the base case, which is what
+/// makes a level cost `O(vol(W))` instead of `O(n)`.
+#[allow(clippy::too_many_arguments)] // the paper's parameters plus the workspace
+pub fn almost_strict_ws<S: Splitter + ?Sized>(
+    g: &Graph,
+    costs: &[f64],
+    splitter: &S,
+    chi: &Coloring,
+    domain: &VertexSet,
+    weights: &[f64],
+    p: f64,
+    params: &ShrinkParams,
+    ws: &Workspace,
+) -> Coloring {
+    almost_strict_rec(g, costs, splitter, chi, domain, weights, p, params, 0, ws)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -298,6 +340,7 @@ fn almost_strict_rec<S: Splitter + ?Sized>(
     p: f64,
     params: &ShrinkParams,
     depth: usize,
+    ws: &Workspace,
 ) -> Coloring {
     let k = chi.k();
     let total = set_sum(weights, domain);
@@ -314,7 +357,7 @@ fn almost_strict_rec<S: Splitter + ?Sized>(
         return binpack1(g, costs, splitter, &chi.restrict_to(domain), domain, weights, &w1, wmax);
     }
 
-    let sh = shrink(g, costs, splitter, chi, domain, weights, p, params);
+    let sh = shrink_ws(g, costs, splitter, chi, domain, weights, p, params, ws);
     if sh.w1.len() >= domain.len() || sh.w0.is_empty() {
         // Defensive: shrink made no progress; fall back to direct packing.
         let w1 = vec![0.0; k];
@@ -322,7 +365,7 @@ fn almost_strict_rec<S: Splitter + ?Sized>(
     }
 
     let chi1_hat = almost_strict_rec(
-        g, costs, splitter, &sh.chi1, &sh.w1, weights, p, params, depth + 1,
+        g, costs, splitter, &sh.chi1, &sh.w1, weights, p, params, depth + 1, ws,
     );
     // Conquer (Lemma 15): re-pack χ₀ so that χ̃₀ ⊕ χ̂₁ is almost strict.
     let w1_weights = chi1_hat.class_measures(weights);

@@ -25,6 +25,45 @@
 use mmb_graph::measure::{norm_1, set_max, set_sum};
 use mmb_graph::{Coloring, Graph, VertexId, VertexSet};
 use mmb_splitters::Splitter;
+use rayon::prelude::*;
+
+/// Below this working-set size the per-class carving of `BinPack1/2` runs
+/// inline: thread-spawn overhead would exceed the carve work itself on the
+/// small sets deep in the shrink recursion.
+pub(crate) const PAR_CARVE_MIN_VERTICES: usize = 2048;
+
+/// Shared fan-out of the `BinPack1/2` cut-down step: run `shed` over every
+/// carving work item — on the thread pool when the working set is large
+/// enough to amortize worker spawn, inline otherwise — and re-assemble the
+/// surviving classes and carved pieces in class order, which makes the
+/// result bit-identical to the sequential loop for any thread count.
+/// Parallel workers re-establish the caller's thread-local scratch mode.
+pub(crate) fn carve_classes<T, F>(
+    items: impl IntoIterator<Item = T>,
+    working_set_len: usize,
+    shed: F,
+) -> (Vec<VertexSet>, Vec<VertexSet>)
+where
+    T: Send,
+    F: Fn(T) -> (VertexSet, Vec<VertexSet>) + Sync,
+{
+    let carved: Vec<(VertexSet, Vec<VertexSet>)> = if working_set_len >= PAR_CARVE_MIN_VERTICES {
+        let mode = mmb_graph::workspace::scratch_mode();
+        items
+            .into_par_iter()
+            .map(|item| mmb_graph::workspace::with_scratch_mode(mode, || shed(item)))
+            .collect()
+    } else {
+        items.into_iter().map(shed).collect()
+    };
+    let mut classes = Vec::with_capacity(carved.len());
+    let mut buffer = Vec::new();
+    for (class, pieces) in carved {
+        classes.push(class);
+        buffer.extend(pieces);
+    }
+    (classes, buffer)
+}
 
 /// Largest-first greedy assignment: vertices in decreasing weight order,
 /// each to the currently lightest class. Satisfies eq. (1) for every input
@@ -74,21 +113,22 @@ pub fn binpack2<S: Splitter + ?Sized>(
         return greedy_strict(n, k, domain, weights);
     }
 
-    let mut classes: Vec<VertexSet> = (0..k as u32)
-        .map(|i| chi.class_set(i).intersection(domain))
-        .collect();
     let cw = |c: &VertexSet| set_sum(weights, c);
-    let mut buffer: Vec<VertexSet> = Vec::new();
 
-    // Step 2: cut every class down to ≤ w*.
-    for class in &mut classes {
-        while cw(class) > w_star + 1e-12 * total && !class.is_empty() {
-            let x = carve_piece(g, splitter, class, weights, wmax);
-            debug_assert!(!x.is_empty());
-            class.difference_with(&x);
-            buffer.push(x);
-        }
-    }
+    // Step 2: cut every class down to ≤ w*. Classes are carved
+    // independently (the buffer only collects), so [`carve_classes`] fans
+    // the cut-down out per class.
+    let (mut classes, mut buffer) =
+        carve_classes(chi.class_sets_within(domain), domain.len(), |mut class: VertexSet| {
+            let mut pieces = Vec::new();
+            while cw(&class) > w_star + 1e-12 * total && !class.is_empty() {
+                let x = carve_piece(g, splitter, &class, weights, wmax);
+                debug_assert!(!x.is_empty());
+                class.difference_with(&x);
+                pieces.push(x);
+            }
+            (class, pieces)
+        });
 
     // Step 3: refill classes below the strict lower envelope. The
     // averaging argument (see module docs) guarantees the buffer cannot be

@@ -7,6 +7,7 @@
 
 use crate::graph::{EdgeId, Graph};
 use crate::vertex_set::VertexSet;
+use crate::workspace::{ScratchMeasure, Workspace};
 
 /// Boundary cost `∂U = c(δ(U))` of `U` in the host graph.
 ///
@@ -83,12 +84,24 @@ pub fn cut_size_within(g: &Graph, w_set: &VertexSet, u_set: &VertexSet) -> usize
 /// this helper materializes that measure. Each cut edge contributes its cost
 /// to **both** endpoints, so `Σ_v measure(v) = 2·∂U`.
 pub fn boundary_measure(g: &Graph, costs: &[f64], u_set: &VertexSet) -> Vec<f64> {
-    let mut out = vec![0.0; g.num_vertices()];
+    Workspace::with_local(|ws| boundary_measure_ws(g, costs, u_set, ws).to_measure())
+}
+
+/// [`boundary_measure`] into a reusable [`Workspace`] buffer: accumulates
+/// only over `vol(U)` with zero allocation, returning a dense scratch view
+/// whose slice is bit-identical to the allocating variant's vector.
+pub fn boundary_measure_ws<'ws>(
+    g: &Graph,
+    costs: &[f64],
+    u_set: &VertexSet,
+    ws: &'ws Workspace,
+) -> ScratchMeasure<'ws> {
+    let mut out = ws.measure(g.num_vertices());
     for v in u_set.iter() {
         for &(nb, e) in g.neighbors(v) {
             if !u_set.contains(nb) {
-                out[v as usize] += costs[e as usize];
-                out[nb as usize] += costs[e as usize];
+                out.add(v, costs[e as usize]);
+                out.add(nb, costs[e as usize]);
             }
         }
     }
@@ -141,6 +154,23 @@ mod tests {
         // Edge ids are canonical-sorted: (0,1)=1, (0,4)=2, (1,2)=3, ….
         // Vertex 2 touches only edge (1,2), which carries cost 3.
         assert!(close(m[2], 3.0));
+    }
+
+    #[test]
+    fn workspace_boundary_measure_is_bit_identical() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let costs: Vec<f64> = (0..7).map(|e| 0.1 + (e as f64) * 1.7).collect();
+        let ws = Workspace::new();
+        for mask in 0u32..64 {
+            let u = VertexSet::from_iter(6, (0..6u32).filter(|v| mask >> v & 1 == 1));
+            let alloc = boundary_measure(&g, &costs, &u);
+            let scratch = boundary_measure_ws(&g, &costs, &u, &ws);
+            for (a, b) in alloc.iter().zip(scratch.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mask {mask}");
+            }
+        }
+        // Every checkout after the first reuses the pooled buffer.
+        assert_eq!(ws.stats().fresh_allocs, 1);
     }
 
     #[test]

@@ -74,7 +74,8 @@ impl Graph {
         &self.edges
     }
 
-    /// Adjacency of vertex `v`: `(neighbor, edge id)` pairs.
+    /// Adjacency of vertex `v`: `(neighbor, edge id)` pairs, sorted by
+    /// neighbor id (each neighbor appears once, so the order is strict).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
         let lo = self.adj_off[v as usize] as usize;
@@ -108,11 +109,11 @@ impl Graph {
         }
     }
 
-    /// Whether an edge joins `u` and `v` (linear scan of the shorter
-    /// adjacency; intended for tests and small graphs).
+    /// Whether an edge joins `u` and `v`: binary search of the shorter
+    /// adjacency list (`O(log Δ)`; adjacency is sorted by neighbor id).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a).iter().any(|&(nb, _)| nb == b)
+        self.neighbors(a).binary_search_by_key(&b, |&(nb, _)| nb).is_ok()
     }
 
     /// Connected components; returns a component id per vertex and the
@@ -193,7 +194,9 @@ impl GraphBuilder {
     /// Finalize into an immutable CSR [`Graph`].
     ///
     /// Edge ids are assigned in sorted `(u, v)` order after deduplication,
-    /// so two builds from the same edge multiset yield identical graphs.
+    /// and each adjacency list is sorted by neighbor id, so two builds from
+    /// the same edge multiset yield identical graphs with identical
+    /// iteration order everywhere.
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
@@ -216,6 +219,14 @@ impl GraphBuilder {
             cursor[u as usize] += 1;
             adj[cursor[v as usize] as usize] = (u, e);
             cursor[v as usize] += 1;
+        }
+        // Canonicalize each adjacency list by neighbor id (neighbors are
+        // unique after dedup), enabling binary-search membership tests and
+        // making traversal order independent of edge-insertion history.
+        for v in 0..n {
+            let lo = adj_off[v] as usize;
+            let hi = adj_off[v + 1] as usize;
+            adj[lo..hi].sort_unstable();
         }
         Graph { n, adj_off, adj, edges: self.edges }
     }
@@ -253,7 +264,7 @@ mod tests {
     }
 
     #[test]
-    fn triangle_basbasics() {
+    fn triangle_basics() {
         let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.size(), 6);
@@ -292,6 +303,59 @@ mod tests {
         let g1 = graph_from_edges(4, &[(2, 3), (0, 1), (1, 2)]);
         let g2 = graph_from_edges(4, &[(1, 2), (2, 3), (0, 1)]);
         assert_eq!(g1.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn adjacency_and_edge_ids_stay_canonical() {
+        // A denser graph, inserted in two scrambled orders: edge ids follow
+        // sorted (u, v) order and every adjacency list is sorted by
+        // neighbor id — identical iteration order for both builds.
+        let edges = [(0u32, 3u32), (1, 4), (0, 1), (2, 3), (3, 4), (0, 4), (1, 2), (0, 2)];
+        let mut rev = edges;
+        rev.reverse();
+        let g1 = graph_from_edges(5, &edges);
+        let g2 = graph_from_edges(5, &rev);
+        assert_eq!(g1.edge_list(), g2.edge_list());
+        // Edge ids enumerate the sorted canonical endpoint list.
+        let mut sorted = edges.to_vec();
+        sorted.sort_unstable();
+        for (e, &(u, v)) in sorted.iter().enumerate() {
+            assert_eq!(g1.endpoints(e as u32), (u, v));
+        }
+        for v in g1.vertices() {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+            let ids: Vec<u32> = g1.neighbors(v).iter().map(|&(nb, _)| nb).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "adjacency of {v} not sorted: {ids:?}");
+            // The stored edge ids agree with the canonical endpoint list.
+            for &(nb, e) in g1.neighbors(v) {
+                let (a, b) = g1.endpoints(e);
+                assert_eq!((a.min(b), a.max(b)), (v.min(nb), v.max(nb)));
+            }
+        }
+        // Binary-search membership agrees with the edge list in both
+        // directions, and rejects non-edges.
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                let expect = u != v && sorted.contains(&(u.min(v), u.max(v)));
+                assert_eq!(g1.has_edge(u, v), expect, "has_edge({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_on_a_disconnected_graph() {
+        // Two components and two isolated vertices: degree and max_degree
+        // must not assume connectivity.
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (0, 2), (4, 5)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree(6), 0);
+        assert_eq!(g.max_degree(), 2);
+        assert!(!g.is_connected());
+        assert_eq!(g.components().1, 4);
+        // The all-isolated graph has max degree 0.
+        assert_eq!(GraphBuilder::new(3).build().max_degree(), 0);
     }
 
     #[test]

@@ -27,9 +27,13 @@
 //! * [`recognize`] — structure detection (path / forest / full lattice /
 //!   arbitrary) with verified lattice-embedding reconstruction, feeding
 //!   the automatic splitter choice in `mmb-core`'s `api` module.
+//! * [`workspace`] — reusable epoch-stamped scratch buffers for the
+//!   decomposition hot path: dense measures accumulated over touched
+//!   entries only, zeroed in `O(touched)`, pooled per thread.
 //!
-//! The crate is dependency-light and purely sequential; the parallel harness
-//! lives in `mmb-bench`.
+//! The crate is dependency-light; parallel execution enters through the
+//! `rayon`-shaped shim used by `mmb-core` and `mmb-bench`, with one
+//! [`Workspace`] per worker thread.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,10 +48,12 @@ pub mod recognize;
 pub mod stats;
 pub mod union;
 pub mod vertex_set;
+pub mod workspace;
 
 pub use coloring::Coloring;
 pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
 pub use vertex_set::VertexSet;
+pub use workspace::{ScratchMeasure, ScratchMode, Workspace, WorkspaceStats};
 
 /// Commonly used items, re-exported for glob import in downstream crates.
 pub mod prelude {
@@ -59,4 +65,5 @@ pub mod prelude {
     pub use crate::recognize::{recognize, Structure};
     pub use crate::stats::InstanceStats;
     pub use crate::vertex_set::VertexSet;
+    pub use crate::workspace::{ScratchMeasure, Workspace, WorkspaceStats};
 }

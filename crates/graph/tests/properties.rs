@@ -3,7 +3,7 @@
 use mmb_graph::cut::{boundary_cost, boundary_cost_within, boundary_measure};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::graph::{graph_from_edges, GraphBuilder};
-use mmb_graph::measure::{edge_norm_p, norm_1, norm_inf, norm_p, set_sum};
+use mmb_graph::measure::{edge_norm_p, edge_norm_p_pow, norm_1, norm_inf, norm_p, pow_p, set_sum};
 use mmb_graph::union::{disjoint_copies, replicate_measure};
 use mmb_graph::{Coloring, VertexSet};
 use proptest::prelude::*;
@@ -76,6 +76,69 @@ proptest! {
         let np = norm_p(&v, p);
         prop_assert!(np <= norm_1(&v) + 1e-9);
         prop_assert!(np >= norm_inf(&v) - 1e-9);
+    }
+
+    #[test]
+    fn pow_p_fast_paths_agree_with_powf(x in 0.0f64..1e6, pi in 1usize..7) {
+        // The fast paths (identity, x·x, powi) must agree with the plain
+        // powf reference to 1e-12 relative error on every exponent class.
+        for p in [1.0, 2.0, 3.0, 7.0, 32.0, 1.5, 2.5, pi as f64, pi as f64 + 0.25] {
+            let fast = pow_p(x, p);
+            let reference = x.powf(p);
+            let scale = reference.abs().max(1.0);
+            prop_assert!(
+                (fast - reference).abs() <= 1e-12 * scale,
+                "x={x}, p={p}: fast {fast} vs powf {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_p_fast_paths_agree_with_powf_path(
+        v in proptest::collection::vec(0.0f64..1e4, 0..24),
+    ) {
+        // norm_p routes element powers through pow_p; compare against an
+        // explicit powf-only evaluation (same max-scaling) on the fast-path
+        // exponents.
+        for p in [1.0f64, 2.0, 3.0, 5.0] {
+            let fast = norm_p(&v, p);
+            let m = norm_inf(&v);
+            let reference = if m == 0.0 {
+                0.0
+            } else {
+                m * v.iter().map(|&x| (x / m).powf(p)).sum::<f64>().powf(1.0 / p)
+            };
+            let scale = reference.abs().max(1.0);
+            prop_assert!(
+                (fast - reference).abs() <= 1e-12 * scale,
+                "p={p}: fast {fast} vs powf {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_norm_p_pow_fast_paths_agree_with_powf_path(g in arb_graph(), seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let costs: Vec<f64> = (0..g.num_edges())
+            .map(|e| 0.25 + ((seed.wrapping_add(e as u64 * 77)) % 13) as f64)
+            .collect();
+        let w = VertexSet::from_iter(n, (0..n as u32).filter(|v| (seed >> (v % 43)) & 1 == 1));
+        for p in [1.0f64, 2.0, 4.0] {
+            let fast = edge_norm_p_pow(&g, &costs, &w, p);
+            let mut reference = 0.0f64;
+            for v in w.iter() {
+                for &(nb, e) in g.neighbors(v) {
+                    if nb > v && w.contains(nb) {
+                        reference += costs[e as usize].powf(p);
+                    }
+                }
+            }
+            let scale = reference.abs().max(1.0);
+            prop_assert!(
+                (fast - reference).abs() <= 1e-12 * scale,
+                "p={p}: fast {fast} vs powf {reference}"
+            );
+        }
     }
 
     #[test]

@@ -19,12 +19,52 @@
 //! Costs halve per level, so there are `O(log φ)` levels (Lemma 27) and the
 //! returned set costs `O(d·log^{1/d}(φ+1)·‖c‖_{d/(d−1)})` (Theorem 19).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::workspace::{scratch_mode, ScratchMode};
 use mmb_graph::{VertexId, VertexSet};
 
 use crate::{prefix_split, Splitter};
+
+/// Reusable per-thread buffers of the fast `split` path: one split call
+/// makes `O(levels)` uses of each, and a solve makes thousands of split
+/// calls, so pulling these out of the call eliminates the per-call malloc
+/// traffic entirely.
+#[derive(Default)]
+struct SplitScratch {
+    members: Vec<VertexId>,
+    edges: Vec<(i64, f64)>,
+    per_alpha: HashMap<i64, f64>,
+    alpha_dense: Vec<f64>,
+    keyed: Vec<(u64, u32, VertexId)>,
+    keys_buf: Vec<u32>,
+    counts: Vec<u32>,
+    grouped: Vec<VertexId>,
+    extents: Vec<u64>,
+    shifts: Vec<u64>,
+}
+
+thread_local! {
+    static SPLIT_SCRATCH: RefCell<SplitScratch> = RefCell::default();
+}
+
+/// `val / ell` for `val < 2^51` via reciprocal multiplication with an
+/// exact fixup — the packed-key hot loop's division.
+#[inline]
+fn udiv_rcp(val: u64, ell: u64, inv: f64) -> u64 {
+    let mut q = (val as f64 * inv) as u64;
+    // The estimate is within a couple of ulps of the true quotient; the
+    // saturating loops make the result exact regardless.
+    while (q + 1).saturating_mul(ell) <= val {
+        q += 1;
+    }
+    while q.saturating_mul(ell) > val {
+        q -= 1;
+    }
+    q
+}
 
 /// Splitting sets for grid graphs with arbitrary positive edge costs.
 pub struct GridSplitter<'g> {
@@ -32,6 +72,34 @@ pub struct GridSplitter<'g> {
     /// Costs scaled so the minimum positive cost is 1 (zero costs stay 0,
     /// they are free to cut and vanish after the first level).
     scaled: Vec<f64>,
+    /// Rank of each vertex in the lexicographic coordinate order —
+    /// `sort_unstable_by_key(lex_rank)` replaces comparator sorts over
+    /// coordinate slices in the hot path.
+    lex_rank: Vec<u32>,
+    /// Per-axis coordinate minima/maxima of the whole instance.
+    mins: Vec<i64>,
+    /// See [`GridSplitter::mins`].
+    maxs: Vec<i64>,
+    /// Global coordinate bounds over all axes (`min(mins)` / `max(maxs)`).
+    coord_lo: i64,
+    /// See [`GridSplitter::coord_lo`].
+    coord_hi: i64,
+    /// Whether `Π (max_a − min_a + 2)` fits in `u64`, i.e. cell keys of
+    /// every coarsening level pack into one machine word. (False only for
+    /// astronomically spread-out point sets; those route to the legacy
+    /// path.)
+    pack_safe: bool,
+    /// `‖scaled‖_∞`: the first level `L` with `(c_max + 1)/2^L − 1 ≤ 0`
+    /// has **no** surviving edges, so the fast path can skip its edge scan
+    /// (`c1 = 0` exactly) and go straight to the lexicographic prefix.
+    max_scaled: f64,
+    /// Per edge: the smaller coordinate along the (unique) axis the edge
+    /// spans — the `t` of the Lemma 20 shift accounting, precomputed so
+    /// the hot scan does one load instead of two coordinate lookups.
+    edge_t: Vec<i64>,
+    /// Whether every scaled cost is exactly 1.0 (unit-cost instances):
+    /// the scan then skips the cost load entirely.
+    uniform_cost: bool,
     name: &'static str,
 }
 
@@ -46,17 +114,75 @@ impl<'g> GridSplitter<'g> {
         } else {
             costs.to_vec()
         };
-        Self { grid, scaled, name: "gridsplit" }
+        Self::finish(grid, scaled, "gridsplit")
     }
 
     /// The naive unit-cost variant: ignores the actual costs when choosing
     /// cuts (the `σ_p(G, c) ≤ σ_p(G, 1)·φ` generalization the paper calls
     /// out as wasteful; ablation experiment E9).
     pub fn unit_cost(grid: &'g GridGraph) -> Self {
+        Self::finish(grid, vec![1.0; grid.graph.num_edges()], "gridsplit/unit")
+    }
+
+    /// Shared construction tail: precompute the lex ranks and coordinate
+    /// bounds the fast path keys off. `O(n log n)` once per splitter,
+    /// amortized across every `split` call of a solver's lifetime.
+    fn finish(grid: &'g GridGraph, scaled: Vec<f64>, name: &'static str) -> Self {
+        let n = grid.graph.num_vertices();
+        let d = grid.dim;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| grid.coord(a).cmp(grid.coord(b)));
+        let mut lex_rank = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            lex_rank[v as usize] = r as u32;
+        }
+        let mut mins = vec![i64::MAX; d];
+        let mut maxs = vec![i64::MIN; d];
+        for v in 0..n as u32 {
+            for (a, &x) in grid.coord(v).iter().enumerate() {
+                mins[a] = mins[a].min(x);
+                maxs[a] = maxs[a].max(x);
+            }
+        }
+        // Fast-path eligibility: per-axis cell ranges must pack into a
+        // u64 product, and absolute coordinate magnitudes must leave
+        // headroom for the shift arithmetic (`x + α − 1`, `base =
+        // (hi/ℓ + 1)·ℓ` with `ℓ ≤ 2^40`) — i64 overflow near the extremes
+        // routes to the legacy path instead.
+        let pack_safe = n > 0
+            && mins.iter().zip(&maxs).try_fold(1u128, |acc, (&lo, &hi)| {
+                acc.checked_mul((hi as i128 - lo as i128) as u128 + 2)
+            })
+            .is_some_and(|p| p <= u64::MAX as u128)
+            && mins.iter().all(|&lo| lo > i64::MIN / 4)
+            && maxs.iter().all(|&hi| hi < i64::MAX / 4);
+        let max_scaled = scaled.iter().copied().fold(0.0f64, f64::max);
+        let coord_lo = mins.iter().copied().min().unwrap_or(0);
+        let coord_hi = maxs.iter().copied().max().unwrap_or(0);
+        let edge_t = grid
+            .graph
+            .edge_list()
+            .iter()
+            .map(|&(u, v)| {
+                let (cu, cv) = (grid.coord(u), grid.coord(v));
+                let axis = (0..d).find(|&a| cu[a] != cv[a]).expect("edge endpoints share coords");
+                cu[axis].min(cv[axis])
+            })
+            .collect();
+        let uniform_cost = scaled.iter().all(|&c| c == 1.0);
         Self {
             grid,
-            scaled: vec![1.0; grid.graph.num_edges()],
-            name: "gridsplit/unit",
+            scaled,
+            lex_rank,
+            mins,
+            maxs,
+            coord_lo,
+            coord_hi,
+            pack_safe,
+            max_scaled,
+            edge_t,
+            uniform_cost,
+            name,
         }
     }
 
@@ -69,11 +195,43 @@ impl<'g> GridSplitter<'g> {
         (c + 1.0) / (1u64 << level.min(62)) as f64 - 1.0
     }
 
-    /// One coarsening level: distribute `members` into ℓ-cells under the
-    /// cheapest shift α. Returns `(ordered cells, ℓ)` — cells sorted
-    /// lexicographically by cell coordinate — or `None` when `ℓ = 1`
-    /// (trivial case).
-    fn coarsen(&self, members: &[VertexId], level: u32) -> Option<Vec<Vec<VertexId>>> {
+    /// [`GridSplitter::pick_alpha`] over the dense per-shift sums
+    /// (`sums[a − 1]` = cut cost of shift `a`; positive costs mean an
+    /// untouched shift is exactly `0.0`). Same selection rule: first uncut
+    /// shift if any, else cheapest with smallest-α tie-break.
+    fn pick_alpha_dense(sums: &[f64]) -> i64 {
+        if let Some(i) = sums.iter().position(|&s| s == 0.0) {
+            return i as i64 + 1;
+        }
+        let mut best = 0usize;
+        for (i, &s) in sums.iter().enumerate() {
+            if s < sums[best] {
+                best = i;
+            }
+        }
+        best as i64 + 1
+    }
+
+    /// The cheapest shift α (ties to the smallest α so two splitters built
+    /// from the same instance always cut identically), or any uncut shift.
+    fn pick_alpha(per_alpha: &HashMap<i64, f64>, ell: i64) -> i64 {
+        if (per_alpha.len() as i64) < ell {
+            // Some shift cuts nothing at all.
+            (1..=ell).find(|a| !per_alpha.contains_key(a)).unwrap()
+        } else {
+            *per_alpha
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
+                .map(|(a, _)| a)
+                .unwrap()
+        }
+    }
+
+    /// The pre-overhaul coarsening (single edge pass into a scratch `Vec`,
+    /// HashMap cell grouping with per-member key vectors). Kept verbatim
+    /// as the [`ScratchMode::Transient`] reference so perf baselines can
+    /// A/B old vs new on identical inputs.
+    fn coarsen_legacy(&self, members: &[VertexId], level: u32) -> Option<Vec<Vec<VertexId>>> {
         let d = self.grid.dim;
         let in_s = VertexSet::from_iter(self.grid.graph.num_vertices(), members.iter().copied());
 
@@ -111,7 +269,7 @@ impl<'g> GridSplitter<'g> {
         // Lemma 20: each edge is cut by exactly one shift α ∈ [1, ℓ];
         // accumulate per-shift cost sparsely and pick the cheapest.
         let mut per_alpha: HashMap<i64, f64> = HashMap::new();
-        for &(t, cost) in &edges {
+        for &(t, cost) in edges.iter() {
             let mut alpha = (-t).rem_euclid(ell);
             if alpha == 0 {
                 alpha = ell;
@@ -152,10 +310,13 @@ impl<'g> GridSplitter<'g> {
     fn lex_order(&self, members: &mut [VertexId]) {
         members.sort_unstable_by(|&a, &b| self.grid.coord(a).cmp(self.grid.coord(b)));
     }
-}
 
-impl Splitter for GridSplitter<'_> {
-    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+    /// The pre-overhaul `split` loop over [`GridSplitter::coarsen_legacy`]:
+    /// per-level cell materialization with per-member key allocations.
+    /// Kept as the [`ScratchMode::Transient`] perf-baseline reference (and
+    /// the fallback for point sets whose coordinate spread defeats key
+    /// packing).
+    fn split_legacy(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
         let n = self.grid.graph.num_vertices();
         let mut members: Vec<VertexId> = w_set.iter().collect();
         let total: f64 = members.iter().map(|&v| weights[v as usize]).sum();
@@ -164,7 +325,7 @@ impl Splitter for GridSplitter<'_> {
         let mut level = 0u32;
 
         loop {
-            match self.coarsen(&members, level) {
+            match self.coarsen_legacy(&members, level) {
                 None => {
                     // ℓ = 1: lexicographic vertex prefix within the cell.
                     self.lex_order(&mut members);
@@ -197,6 +358,297 @@ impl Splitter for GridSplitter<'_> {
                     }
                 }
             }
+        }
+    }
+
+    /// The overhauled `split` loop: counting-sort cell grouping over
+    /// packed `u64` keys, thread-local scratch buffers (zero steady-state
+    /// allocation beyond the returned set), reciprocal-multiply cell
+    /// arithmetic, and dead-level skipping — `O(vol)`-ish per level.
+    ///
+    /// On the counting-sort grouping path (anything but sparse point sets
+    /// spread over astronomically large coordinate ranges) members keep
+    /// their id order inside every cell, so cell weight sums accumulate in
+    /// **exactly the legacy order** and the returned set is bit-identical
+    /// to [`GridSplitter::split_legacy`]. On the comparison-sort fallback
+    /// the within-cell order is lexicographic instead, which can flip
+    /// floating-point ties on inputs whose partial sums are inexact —
+    /// still within the Definition 3 contract.
+    fn split_fast(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        SPLIT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.split_fast_in(&mut scratch, w_set, weights, target),
+            // Defensive: if a caller ever re-enters split on this thread,
+            // fall back to fresh buffers instead of panicking.
+            Err(_) => self.split_fast_in(&mut SplitScratch::default(), w_set, weights, target),
+        })
+    }
+
+    fn split_fast_in(
+        &self,
+        scratch: &mut SplitScratch,
+        w_set: &VertexSet,
+        weights: &[f64],
+        target: f64,
+    ) -> VertexSet {
+        let n = self.grid.graph.num_vertices();
+        let d = self.grid.dim;
+        let SplitScratch {
+            members,
+            edges,
+            per_alpha,
+            alpha_dense,
+            keyed,
+            keys_buf,
+            counts,
+            grouped,
+            extents,
+            shifts,
+        } = scratch;
+        members.clear();
+        members.extend(w_set.iter());
+        let total: f64 = members.iter().map(|&v| weights[v as usize]).sum();
+        let mut rem = target.clamp(0.0, total);
+        let mut taken = VertexSet::empty(n);
+        let mut level = 0u32;
+
+        loop {
+            if members.is_empty() {
+                return taken;
+            }
+            // Inner edges with positive current cost: total + per-axis
+            // minimum coordinate (for the Lemma 20 shift accounting). Once
+            // the level's cost reduction has extinguished even the most
+            // expensive edge, `c1 = 0` without scanning anything.
+            let mut c1 = 0.0f64;
+            edges.clear();
+            let level_alive =
+                level == 0 || (self.max_scaled + 1.0) / (1u64 << level.min(62)) as f64 - 1.0 > 0.0;
+            if level_alive {
+                // Level 0 works on exactly `w_set`; deeper levels mark the
+                // straddling cell in a fresh bitset.
+                let owned;
+                let in_s = if level == 0 {
+                    w_set
+                } else {
+                    owned = VertexSet::from_iter(n, members.iter().copied());
+                    &owned
+                };
+                let uniform = self.uniform_cost && level == 0;
+                for &v in members.iter() {
+                    for &(nb, e) in self.grid.graph.neighbors(v) {
+                        if nb <= v || !in_s.contains(nb) {
+                            continue;
+                        }
+                        let cur = if uniform {
+                            1.0
+                        } else if level == 0 {
+                            self.scaled[e as usize]
+                        } else {
+                            self.level_cost(e, level)
+                        };
+                        if cur <= 0.0 {
+                            continue;
+                        }
+                        c1 += cur;
+                        edges.push((self.edge_t[e as usize], cur));
+                    }
+                }
+            }
+            let ell = ((c1 / d as f64).powf(1.0 / d as f64).ceil() as i64).max(1);
+            let ell = ell.min(1 << 40);
+            if ell <= 1 {
+                // ℓ = 1: lexicographic vertex prefix within the cell — one
+                // u32 key sort instead of a coordinate-comparator sort, and
+                // the prefix lands in `taken` directly (the shared
+                // [`prefix_cut_len`] decision rule, no intermediate set).
+                members.sort_unstable_by_key(|&v| self.lex_rank[v as usize]);
+                let cut = crate::prefix_cut_len(members, weights, rem);
+                for &v in &members[..cut] {
+                    taken.insert(v);
+                }
+                return taken;
+            }
+            // Lemma 20 per-shift accounting: a dense (reused) buffer when
+            // ℓ is small — direct indexing instead of hashing every edge —
+            // with the HashMap as the big-ℓ fallback. Same edge order, so
+            // identical sums and the identical α either way. The per-edge
+            // `(−t) mod ℓ` runs through the same reciprocal trick as the
+            // cell packing when the coordinate magnitudes allow it:
+            // `base − t ≥ 0` for `base` the smallest multiple of ℓ above
+            // every coordinate, and `(base − t) mod ℓ = (−t) mod ℓ`.
+            let ell_u = ell as u64;
+            let inv = 1.0 / ell as f64;
+            let alpha = if ell <= (1 << 16) {
+                alpha_dense.clear();
+                alpha_dense.resize(ell as usize, 0.0);
+                let base = (self.coord_hi.div_euclid(ell) + 1) * ell;
+                if (base - self.coord_lo) < 1 << 51 {
+                    for &(t, cost) in edges.iter() {
+                        let val = (base - t) as u64;
+                        let r = val - udiv_rcp(val, ell_u, inv) * ell_u;
+                        let idx = if r == 0 { ell_u - 1 } else { r - 1 };
+                        alpha_dense[idx as usize] += cost;
+                    }
+                } else {
+                    for &(t, cost) in edges.iter() {
+                        let mut alpha = (-t).rem_euclid(ell);
+                        if alpha == 0 {
+                            alpha = ell;
+                        }
+                        alpha_dense[(alpha - 1) as usize] += cost;
+                    }
+                }
+                Self::pick_alpha_dense(alpha_dense)
+            } else {
+                per_alpha.clear();
+                for &(t, cost) in edges.iter() {
+                    let mut alpha = (-t).rem_euclid(ell);
+                    if alpha == 0 {
+                        alpha = ell;
+                    }
+                    *per_alpha.entry(alpha).or_insert(0.0) += cost;
+                }
+                Self::pick_alpha(per_alpha, ell)
+            };
+
+            // Pack each member's cell ϕ_α(x) = ⌊(x + (α−1)·1)/ℓ⌋, offset
+            // to the instance's minimum cell, into one u64 (mixed radix
+            // over the per-axis cell ranges; `pack_safe` guaranteed the
+            // product fits). The per-axis offset folds into a shifted
+            // non-negative division `(x − min_a + r_a) / ℓ`, computed by
+            // reciprocal multiplication with an exact fixup when the
+            // coordinate span allows it.
+            shifts.clear();
+            extents.clear();
+            let mut rcp_ok = true;
+            for a in 0..d {
+                shifts.push((self.mins[a] + alpha - 1).rem_euclid(ell) as u64);
+                rcp_ok &= ((self.maxs[a] - self.mins[a]) as u64).saturating_add(ell_u) < 1 << 51;
+            }
+            let cell_of = |x: i64, a: usize| -> u64 {
+                let val = (x - self.mins[a]) as u64 + shifts[a];
+                if rcp_ok {
+                    udiv_rcp(val, ell_u, inv)
+                } else {
+                    val / ell_u
+                }
+            };
+            let mut cell_count: u128 = 1;
+            for a in 0..d {
+                let extent = cell_of(self.maxs[a], a) + 1;
+                extents.push(extent);
+                cell_count = cell_count.saturating_mul(extent as u128);
+            }
+            let extents = &*extents;
+            let pack_key = |v: VertexId| {
+                let c = self.grid.coord(v);
+                let mut key = 0u64;
+                for a in 0..d {
+                    key = key * extents[a] + cell_of(c[a], a);
+                }
+                key
+            };
+
+            // Take whole cells (= maximal equal-key runs) in order while
+            // they fit; recurse into the straddling cell.
+            //
+            // Primary grouping is a **counting sort** over the packed
+            // keys: stable, so members keep their id order inside every
+            // cell — the exact iteration (and f64 summation) order of the
+            // legacy HashMap grouping, at `O(vol + cells)`. When the cell
+            // universe is too large relative to the member count (sparse
+            // point sets over huge coordinate ranges), a comparison sort
+            // on (key, lex rank) steps in instead.
+            let mut straddle = false;
+            if cell_count <= (members.len() * 4 + 64) as u128 && cell_count <= u32::MAX as u128 {
+                keys_buf.clear();
+                counts.clear();
+                counts.resize(cell_count as usize, 0);
+                for &v in members.iter() {
+                    let k = pack_key(v) as u32;
+                    keys_buf.push(k);
+                    counts[k as usize] += 1;
+                }
+                // Prefix-sum into running positions, then stable placement.
+                let mut running = 0u32;
+                for c in counts.iter_mut() {
+                    let here = *c;
+                    *c = running;
+                    running += here;
+                }
+                grouped.clear();
+                grouped.resize(members.len(), 0);
+                for (idx, &v) in members.iter().enumerate() {
+                    let k = keys_buf[idx] as usize;
+                    grouped[counts[k] as usize] = v;
+                    counts[k] += 1;
+                }
+                // After placement counts[k] is cell k's end offset.
+                let mut start = 0usize;
+                for &end in counts.iter() {
+                    let end = end as usize;
+                    if end == start {
+                        continue;
+                    }
+                    let cell = &grouped[start..end];
+                    let wcell: f64 = cell.iter().map(|&v| weights[v as usize]).sum();
+                    if wcell <= rem {
+                        rem -= wcell;
+                        for &v in cell {
+                            taken.insert(v);
+                        }
+                        start = end;
+                    } else {
+                        members.clear();
+                        members.extend_from_slice(cell);
+                        straddle = true;
+                        break;
+                    }
+                }
+            } else {
+                keyed.clear();
+                for &v in members.iter() {
+                    keyed.push((pack_key(v), self.lex_rank[v as usize], v));
+                }
+                keyed.sort_unstable();
+                let mut i = 0usize;
+                while i < keyed.len() {
+                    let mut j = i + 1;
+                    while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                        j += 1;
+                    }
+                    let wcell: f64 =
+                        keyed[i..j].iter().map(|&(_, _, v)| weights[v as usize]).sum();
+                    if wcell <= rem {
+                        rem -= wcell;
+                        for &(_, _, v) in &keyed[i..j] {
+                            taken.insert(v);
+                        }
+                        i = j;
+                    } else {
+                        let run: Vec<VertexId> =
+                            keyed[i..j].iter().map(|&(_, _, v)| v).collect();
+                        members.clear();
+                        members.extend(run);
+                        straddle = true;
+                        break;
+                    }
+                }
+            }
+            if !straddle {
+                return taken; // everything fit (rem ≈ 0 now)
+            }
+            level += 1;
+        }
+    }
+}
+
+impl Splitter for GridSplitter<'_> {
+    fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
+        if self.pack_safe && scratch_mode() == ScratchMode::Reuse {
+            self.split_fast(w_set, weights, target)
+        } else {
+            self.split_legacy(w_set, weights, target)
         }
     }
 
@@ -351,6 +803,82 @@ mod tests {
         assert!(check_split(&w, &u, &weights, 32.0).holds());
         // A monotone (prefix) subset of a path cuts exactly one edge.
         assert!(boundary_cost_within(&grid.graph, &costs, &w, &u) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn fast_and_legacy_coarsening_split_identically() {
+        use mmb_graph::workspace::{with_scratch_mode, ScratchMode};
+        // Weighted 2D and 3D grids, many targets and subsets: the
+        // sort-based fast path must return bit-identical splitting sets to
+        // the pre-overhaul HashMap grouping.
+        for dims in [vec![13usize, 11], vec![5, 4, 3]] {
+            let grid = GridGraph::lattice(&dims);
+            let n = grid.graph.num_vertices();
+            let costs: Vec<f64> = (0..grid.graph.num_edges())
+                .map(|e| 0.5 + ((e * 13) % 29) as f64)
+                .collect();
+            let sp = GridSplitter::new(&grid, &costs);
+            let weights: Vec<f64> = (0..n).map(|v| 1.0 + ((v * 7) % 5) as f64).collect();
+            for (mask_mod, frac) in [(1u32, 0.1), (1, 0.5), (1, 0.92), (3, 0.33), (7, 0.6)] {
+                let w = VertexSet::from_iter(n, (0..n as u32).filter(|v| v % mask_mod != 1));
+                let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
+                let target = frac * total;
+                let fast =
+                    with_scratch_mode(ScratchMode::Reuse, || sp.split(&w, &weights, target));
+                let legacy =
+                    with_scratch_mode(ScratchMode::Transient, || sp.split(&w, &weights, target));
+                assert_eq!(fast, legacy, "dims {dims:?}, mask {mask_mod}, frac {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_point_sets_exercise_the_fallback_groupings() {
+        use mmb_graph::workspace::{with_scratch_mode, ScratchMode};
+        // Dominoes (adjacent point pairs) scattered over a wide coordinate
+        // range: the cell universe dwarfs the member count, forcing the
+        // comparison-sort grouping instead of the counting sort. Unit
+        // weights keep every partial sum exact, so fast ≡ legacy bitwise.
+        let mut points = Vec::new();
+        for i in 0..120i64 {
+            let x = (i * 7919) % 1_000_003;
+            let y = (i * 104_729) % 999_983;
+            points.push(vec![x, y]);
+            points.push(vec![x + 1, y]);
+        }
+        let grid = GridGraph::from_points(2, points);
+        let n = grid.graph.num_vertices();
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let weights = vec![1.0; n];
+        let w = VertexSet::full(n);
+        for frac in [0.25, 0.5, 0.75] {
+            let target = frac * n as f64;
+            let fast = with_scratch_mode(ScratchMode::Reuse, || sp.split(&w, &weights, target));
+            let legacy =
+                with_scratch_mode(ScratchMode::Transient, || sp.split(&w, &weights, target));
+            assert_eq!(fast, legacy, "frac {frac}");
+            assert!(check_split(&w, &fast, &weights, target).holds());
+        }
+        // Astronomical spread on two axes defeats u64 key packing; the
+        // fast dispatch must fall back to the legacy path and still honor
+        // the contract.
+        let far = GridGraph::from_points(
+            2,
+            vec![
+                vec![0, 0],
+                vec![1, 0],
+                vec![4_000_000_000_000_000_000, 4_000_000_000_000_000_000],
+                vec![4_000_000_000_000_000_001, 4_000_000_000_000_000_000],
+            ],
+        );
+        let fn_ = far.graph.num_vertices();
+        let fcosts = vec![1.0; far.graph.num_edges()];
+        let fsp = GridSplitter::new(&far, &fcosts);
+        let fw = VertexSet::full(fn_);
+        let fweights = vec![1.0; fn_];
+        let u = fsp.split(&fw, &fweights, 2.0);
+        assert!(check_split(&fw, &u, &fweights, 2.0).holds());
     }
 
     #[test]

@@ -45,7 +45,15 @@ pub mod tree;
 use mmb_graph::{VertexId, VertexSet};
 
 /// A provider of splitting sets on a fixed instance `(G, c)`.
-pub trait Splitter {
+///
+/// `Sync` is a supertrait: the decomposition pipeline fans independent
+/// per-class splitting work out over threads (conquer bin packing, layer
+/// extraction, `solve_many` batches), so a splitter must be safe to call
+/// from several workers at once. All splitters in this crate qualify —
+/// they hold only shared references and per-call state; the
+/// instrumentation wrapper ([`recording::RecordingSplitter`]) uses atomic
+/// counters.
+pub trait Splitter: Sync {
     /// Compute a `target`-splitting set `U ⊆ w_set` with respect to the
     /// dense vertex measure `weights`.
     ///
@@ -80,7 +88,7 @@ impl<T: Splitter + ?Sized> Splitter for Box<T> {
     }
 }
 
-impl<T: Splitter + ?Sized> Splitter for std::sync::Arc<T> {
+impl<T: Splitter + Send + ?Sized> Splitter for std::sync::Arc<T> {
     fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
         (**self).split(w_set, weights, target)
     }
@@ -102,10 +110,17 @@ pub fn prefix_split(
     weights: &[f64],
     target: f64,
 ) -> VertexSet {
+    VertexSet::from_iter(universe, order[..prefix_cut_len(order, weights, target)].iter().copied())
+}
+
+/// The decision rule behind [`prefix_split`]: the length of the best
+/// prefix of `order` for the (clamped) `target`. Shared with the grid
+/// splitter's allocation-free fast path so the two can never drift.
+pub fn prefix_cut_len(order: &[VertexId], weights: &[f64], target: f64) -> usize {
     let total: f64 = order.iter().map(|&v| weights[v as usize]).sum();
     let target = target.clamp(0.0, total);
     if total <= 0.0 {
-        return VertexSet::from_iter(universe, order[..order.len().div_ceil(2)].iter().copied());
+        return order.len().div_ceil(2);
     }
     // Walk prefixes; stop at the first prefix whose weight reaches the
     // target, then decide whether dropping the last element is closer.
@@ -120,7 +135,7 @@ pub fn prefix_split(
         }
         acc = next;
     }
-    VertexSet::from_iter(universe, order[..cut].iter().copied())
+    cut
 }
 
 #[cfg(test)]

@@ -2,9 +2,14 @@
 //!
 //! The running-time and quality analyses of Theorem 4 are phrased in terms
 //! of the number and cost of splitting-set computations; the harness wraps
-//! splitters in a [`RecordingSplitter`] to measure exactly those quantities.
+//! splitters in a [`RecordingSplitter`] to measure exactly those
+//! quantities. Counters are atomics (and a mutex for the float
+//! aggregates), so the wrapper satisfies the [`Splitter`] trait's `Sync`
+//! requirement and keeps counting correctly when the pipeline calls it
+//! from parallel per-class workers.
 
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use mmb_graph::cut::boundary_cost_within;
 use mmb_graph::{Graph, VertexSet};
@@ -29,9 +34,9 @@ pub struct RecordingSplitter<'a, S: Splitter> {
     inner: S,
     graph: &'a Graph,
     costs: &'a [f64],
-    calls: Cell<u64>,
-    total_subset_size: Cell<u64>,
-    cut: RefCell<(f64, f64)>, // (total, max)
+    calls: AtomicU64,
+    total_subset_size: AtomicU64,
+    cut: Mutex<(f64, f64)>, // (total, max)
 }
 
 impl<'a, S: Splitter> RecordingSplitter<'a, S> {
@@ -42,18 +47,18 @@ impl<'a, S: Splitter> RecordingSplitter<'a, S> {
             inner,
             graph,
             costs,
-            calls: Cell::new(0),
-            total_subset_size: Cell::new(0),
-            cut: RefCell::new((0.0, 0.0)),
+            calls: AtomicU64::new(0),
+            total_subset_size: AtomicU64::new(0),
+            cut: Mutex::new((0.0, 0.0)),
         }
     }
 
     /// Snapshot of the collected statistics.
     pub fn stats(&self) -> SplitStats {
-        let (total, max) = *self.cut.borrow();
+        let (total, max) = *self.cut.lock().expect("stats mutex poisoned");
         SplitStats {
-            calls: self.calls.get(),
-            total_subset_size: self.total_subset_size.get(),
+            calls: self.calls.load(Ordering::Relaxed),
+            total_subset_size: self.total_subset_size.load(Ordering::Relaxed),
             total_cut_cost: total,
             max_cut_cost: max,
         }
@@ -61,20 +66,19 @@ impl<'a, S: Splitter> RecordingSplitter<'a, S> {
 
     /// Reset all counters.
     pub fn reset(&self) {
-        self.calls.set(0);
-        self.total_subset_size.set(0);
-        *self.cut.borrow_mut() = (0.0, 0.0);
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_subset_size.store(0, Ordering::Relaxed);
+        *self.cut.lock().expect("stats mutex poisoned") = (0.0, 0.0);
     }
 }
 
 impl<S: Splitter> Splitter for RecordingSplitter<'_, S> {
     fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
         let u = self.inner.split(w_set, weights, target);
-        self.calls.set(self.calls.get() + 1);
-        self.total_subset_size
-            .set(self.total_subset_size.get() + w_set.len() as u64);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_subset_size.fetch_add(w_set.len() as u64, Ordering::Relaxed);
         let cost = boundary_cost_within(self.graph, self.costs, w_set, &u);
-        let mut cut = self.cut.borrow_mut();
+        let mut cut = self.cut.lock().expect("stats mutex poisoned");
         cut.0 += cost;
         cut.1 = cut.1.max(cost);
         u
@@ -107,5 +111,11 @@ mod tests {
         assert!(s.max_cut_cost <= 1.0 + 1e-9);
         rec.reset();
         assert_eq!(rec.stats(), SplitStats::default());
+    }
+
+    #[test]
+    fn recording_splitter_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<RecordingSplitter<'static, OrderSplitter>>();
     }
 }

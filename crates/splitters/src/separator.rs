@@ -66,7 +66,7 @@ impl Separation {
 }
 
 /// A provider of weight-balanced separations on induced subgraphs.
-pub trait SeparatorProvider {
+pub trait SeparatorProvider: Sync {
     /// Produce a separation of `G[w_set]` balanced w.r.t. `balance`.
     fn separate(&self, w_set: &VertexSet, balance: &[f64]) -> Separation;
 

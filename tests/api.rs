@@ -16,8 +16,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use mmb_core::api::{Instance, SolveError, Solver, SplitterChoice};
-use mmb_core::pipeline::{decompose, PipelineConfig};
+use mmb_core::api::{solve_many, Instance, SolveError, Solver, SplitterChoice};
+use mmb_core::pipeline::{decompose, PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::gen::misc::path;
 use mmb_graph::gen::tree::random_tree;
@@ -40,7 +40,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     // The tentpole equivalence: the legacy wrapper and a Solver built on
-    // the same instance produce the *same coloring*, bit for bit.
+    // the same instance produce the *same coloring*, bit for bit — across
+    // the workspace (`ScratchPolicy::Reuse`), the pre-overhaul allocating
+    // reference (`ScratchPolicy::Transient`), the batch `solve_many`
+    // entry point, and every thread count of the parallel shim.
     #[test]
     fn solver_matches_decompose_on_random_grids(
         side in 4usize..11,
@@ -59,6 +62,31 @@ proptest! {
         let report = Solver::for_instance(&inst).classes(k).build().unwrap().solve();
         prop_assert_eq!(&report.coloring, &legacy.coloring);
         prop_assert!(report.is_strictly_balanced());
+
+        // Workspace path ≡ allocating reference path.
+        let transient_cfg = PipelineConfig {
+            scratch: ScratchPolicy::Transient,
+            ..PipelineConfig::default()
+        };
+        let transient = Solver::for_instance(&inst)
+            .classes(k)
+            .config(transient_cfg.clone())
+            .build()
+            .unwrap()
+            .solve();
+        prop_assert_eq!(&transient.coloring, &legacy.coloring);
+
+        // solve_many ≡ one-at-a-time solve, for 1 and several worker
+        // threads (the shim's deterministic chunked schedule).
+        let batch = [inst];
+        for threads in [1usize, 3] {
+            let results = rayon::with_num_threads(threads, || {
+                solve_many(&batch, k, &PipelineConfig::default())
+            });
+            prop_assert_eq!(results.len(), 1);
+            let got = results.into_iter().next().unwrap().unwrap();
+            prop_assert_eq!(&got.coloring, &legacy.coloring, "threads = {}", threads);
+        }
     }
 
     #[test]
@@ -211,7 +239,9 @@ fn boxed_and_arc_splitters_run_through_decompose() {
     let d_dyn =
         decompose(&grid.graph, &costs, &weights, 4, boxed.as_ref(), &[], &cfg).unwrap();
 
-    let arc: Arc<dyn Splitter + '_> = Arc::new(GridSplitter::new(&grid, &costs));
+    // `Arc<T>: Sync` needs `T: Send`, so an `Arc`-boxed trait-object
+    // splitter names `Send` too (all concrete splitters qualify).
+    let arc: Arc<dyn Splitter + Send + '_> = Arc::new(GridSplitter::new(&grid, &costs));
     let d_arc = decompose(&grid.graph, &costs, &weights, 4, &arc, &[], &cfg).unwrap();
 
     assert!(d_box.coloring.is_strictly_balanced(&weights));
@@ -339,6 +369,54 @@ fn report_class_table_is_consistent() {
     // Stage data is present and total.
     assert!(report.stages.multibalanced.is_total());
     assert!(report.stages.almost_strict.is_total());
+}
+
+#[test]
+fn solve_many_matches_individual_solves_across_families() {
+    // A mixed stream — grid, tree, path — through the batch entry point,
+    // at several thread counts: results in input order, colorings
+    // bit-identical to one-at-a-time solves, and the workspace pool
+    // amortized per worker.
+    let grid = GridGraph::lattice(&[9, 9]);
+    let gm = grid.graph.num_edges();
+    let tree = random_tree(70, 3, 5);
+    let tm = tree.num_edges();
+    let line = path(40);
+    let instances = vec![
+        Instance::from_grid(grid, det_costs(gm, 3), det_weights(81, 3)).unwrap(),
+        Instance::new(tree, det_costs(tm, 4), det_weights(70, 4)).unwrap(),
+        Instance::new(line, det_costs(39, 5), det_weights(40, 5)).unwrap(),
+    ];
+    let k = 4;
+    let cfg = PipelineConfig::default();
+    let reference: Vec<_> = instances
+        .iter()
+        .map(|inst| {
+            Solver::for_instance(inst).classes(k).build().unwrap().solve().coloring
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let batch = rayon::with_num_threads(threads, || solve_many(&instances, k, &cfg));
+        assert_eq!(batch.len(), instances.len());
+        for (i, (got, want)) in batch.iter().zip(&reference).enumerate() {
+            let got = got.as_ref().expect("valid instance");
+            assert_eq!(&got.coloring, want, "instance {i}, threads {threads}");
+            assert!(got.is_strictly_balanced());
+        }
+    }
+    // Build failures surface per item, not as a panic.
+    let errs = solve_many(&instances, 0, &cfg);
+    assert!(errs.iter().all(|r| matches!(r, Err(SolveError::ZeroColors))));
+}
+
+#[test]
+fn report_records_stage_timings() {
+    let grid = GridGraph::lattice(&[8, 8]);
+    let m = grid.graph.num_edges();
+    let inst = Instance::from_grid(grid, vec![1.0; m], vec![1.0; 64]).unwrap();
+    let report = Solver::for_instance(&inst).classes(4).build().unwrap().solve();
+    assert!(report.stage_millis.iter().all(|&ms| ms.is_finite() && ms >= 0.0));
+    assert!(report.stage_millis.iter().sum::<f64>() > 0.0);
 }
 
 fn _object_safety_probe(s: &dyn Splitter) -> &str {

@@ -1,98 +1,260 @@
-//! Offline, **sequential** stand-in for the subset of the [`rayon`] API this
+//! Offline, **parallel** stand-in for the subset of the [`rayon`] API this
 //! workspace uses.
 //!
 //! The build environment has no access to crates.io, so `par_iter`-style
-//! calls resolve to this shim and execute on the calling thread. The API
-//! mirrors rayon's shape (`into_par_iter().map(..).reduce(identity, op)`) so
-//! that swapping in the real crate later is a one-line `Cargo.toml` change —
-//! no call sites move.
+//! calls resolve to this shim. Unlike the original bootstrap version (which
+//! ran everything on the calling thread), this implementation executes work
+//! on a chunked [`std::thread::scope`] pool while keeping rayon's call shape
+//! (`into_par_iter().map(..).reduce(identity, op)`), so swapping in the real
+//! crate later is a one-line `Cargo.toml` change — no call sites move.
+//!
+//! ## Execution model
+//!
+//! Combinators are *eager*: each `map`/`filter`/`for_each` call materializes
+//! its input, splits it into fixed-size chunks, distributes the chunks
+//! round-robin over `current_num_threads()` scoped worker threads, and
+//! writes results back into their original positions. Terminal reductions
+//! (`reduce`, `sum`, `count`, `collect`) then fold the materialized results
+//! **sequentially in input order**.
+//!
+//! ## Determinism
+//!
+//! Because placement is by index and every reduction folds in input order,
+//! results are **bit-identical for every thread count, including 1** — even
+//! for non-associative operations such as `f64` addition. This is a
+//! deliberately stronger guarantee than real rayon's (which only promises
+//! determinism for associative operators); the decomposition pipeline's
+//! "parallel equals sequential" equivalence tests rely on it.
+//!
+//! ## Thread count
+//!
+//! `current_num_threads()` resolves, in order: the innermost
+//! [`with_num_threads`] override on this thread, the `RAYON_NUM_THREADS`
+//! environment variable, and [`std::thread::available_parallelism`]. Worker
+//! threads run with an override of 1, so nested parallel calls inside a
+//! worker execute inline instead of oversubscribing the machine.
 //!
 //! [`rayon`]: https://docs.rs/rayon
+
+use std::cell::Cell;
+use std::thread;
 
 /// Everything call sites need in scope, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
-/// exposing rayon-shaped combinators.
-pub struct ParIter<I>(I);
+thread_local! {
+    /// Innermost `with_num_threads` override; 0 means "not set".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel calls on this thread will use.
+///
+/// Resolution order: [`with_num_threads`] override → `RAYON_NUM_THREADS`
+/// (parsed, values ≥ 1) → [`std::thread::available_parallelism`] → 1.
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Run `f` with [`current_num_threads`] forced to `n` on this thread
+/// (shim-only helper; real rayon spells this `ThreadPoolBuilder::install`).
+///
+/// Restores the previous override on exit — including on unwind, so a
+/// caught panic inside `f` cannot leave the thread's budget stuck.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|o| o.replace(n)));
+    f()
+}
+
+/// Target number of chunks per worker thread: more chunks than threads so
+/// the round-robin schedule balances uneven per-item work.
+const CHUNKS_PER_THREAD: usize = 4;
+
+fn chunk_len(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads * CHUNKS_PER_THREAD).max(1)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+fn par_apply<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec<O> {
+    let len = items.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items move into `Option` slots so worker threads can take ownership
+    // element-wise through disjoint `&mut` chunk slices (no unsafe needed);
+    // outputs land in `Option` slots at the same indices.
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<O>> = (0..len).map(|_| None).collect();
+    let chunk = chunk_len(len, threads);
+    // Round-robin the (input, output) chunk pairs over the workers up
+    // front: placement is by index, so the schedule never affects results.
+    type ChunkPair<'a, T, O> = (&'a mut [Option<T>], &'a mut [Option<O>]);
+    let mut buckets: Vec<Vec<ChunkPair<'_, T, O>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, pair) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+        buckets[i % threads].push(pair);
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                // Nested parallel calls inside a worker run inline.
+                with_num_threads(1, || {
+                    for (ins, outs) in bucket {
+                        for (slot, o) in ins.iter_mut().zip(outs) {
+                            *o = Some(f(slot.take().expect("item taken twice")));
+                        }
+                    }
+                });
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("worker skipped a chunk")).collect()
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results —
+/// mirroring `rayon::join`. Deterministic: the return value is always
+/// `(a(), b())` regardless of scheduling.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (a(), b());
+    }
+    // Split the budget between the branches so recursive joins fan out to
+    // roughly `threads` leaves instead of 2^depth threads.
+    let half = threads / 2;
+    thread::scope(|scope| {
+        let hb = scope.spawn(move || with_num_threads(half.max(1), b));
+        let ra = with_num_threads(threads - half, a);
+        (ra, hb.join().expect("join branch panicked"))
+    })
+}
+
+/// A parallel iterator: an eagerly materialized sequence whose combinators
+/// execute on the chunked thread pool (see the [module docs](self)).
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
 
 /// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Wrap `self` in a [`ParIter`]. Sequential in this shim.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Materialize `self` as a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+impl<T: IntoIterator + Sized> IntoParallelIterator for T where T::Item: Send {}
 
 /// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'a> {
     /// The borrowed item type.
-    type Item: 'a;
-    /// The underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Iterate over `&self`. Sequential in this shim.
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    type Item: 'a + Send;
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
-impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
 where
     &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Map each item. See [`Iterator::map`].
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<core::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+impl<T: Send> ParIter<T> {
+    /// Map each item on the thread pool, preserving order.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter { items: par_apply(self.items, f) }
     }
 
-    /// Keep items satisfying `pred`. See [`Iterator::filter`].
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<core::iter::Filter<I, F>> {
-        ParIter(self.0.filter(pred))
-    }
-
-    /// Rayon-shaped reduce: fold from `identity()` with `op`.
-    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    /// Keep items satisfying `pred` (evaluated in parallel), preserving
+    /// order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, pred: F) -> ParIter<T>
     where
-        Id: Fn() -> I::Item,
-        Op: Fn(I::Item, I::Item) -> I::Item,
+        T: Sync,
     {
-        self.0.fold(identity(), op)
+        let keep: Vec<bool> = {
+            let refs: Vec<&T> = self.items.iter().collect();
+            par_apply(refs, &pred)
+        };
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(t, k)| k.then_some(t))
+                .collect(),
+        }
     }
 
-    /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    /// Rayon-shaped reduce: fold from `identity()` with `op`,
+    /// **sequentially in input order** (bit-identical for every thread
+    /// count; see the [module docs](self)).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T,
+        Op: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
     }
 
-    /// Sum the items.
-    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Run `f` on every item on the thread pool.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = par_apply(self.items, f);
+    }
+
+    /// Sum the items (sequential in-order fold over already-computed
+    /// values).
+    pub fn sum<S: core::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
     }
 
     /// Count the items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.items.len()
     }
 
-    /// Collect into any [`FromIterator`] collection.
-    pub fn collect<B: FromIterator<I::Item>>(self) -> B {
-        self.0.collect()
+    /// Collect into any [`FromIterator`] collection, in input order.
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        self.items.into_iter().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, with_num_threads};
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
     #[test]
     fn map_reduce_matches_sequential() {
@@ -114,5 +276,79 @@ mod tests {
     fn filter_collect() {
         let evens: Vec<u32> = (0u32..10).into_par_iter().filter(|x| x % 2 == 0).collect();
         assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn f64_sum_bit_identical_across_thread_counts() {
+        // Non-associative f64 addition: the chunked fixed-order reduction
+        // must reproduce the flat sequential fold bit for bit, for every
+        // thread count.
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| 1.0 / (i as f64 + 1.0) + (i as f64 * 1e-7))
+            .collect();
+        let sequential = data.iter().fold(0.0f64, |a, &b| a + b);
+        for threads in [1usize, 2, 3, 4, 7, 16] {
+            let parallel = with_num_threads(threads, || {
+                data.par_iter().map(|&x| x).reduce(|| 0.0, |a, b| a + b)
+            });
+            assert_eq!(
+                parallel.to_bits(),
+                sequential.to_bits(),
+                "thread count {threads} changed the f64 sum"
+            );
+            let via_sum: f64 = with_num_threads(threads, || data.par_iter().map(|&x| x).sum());
+            assert_eq!(via_sum.to_bits(), sequential.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_under_parallelism() {
+        let out: Vec<usize> =
+            with_num_threads(8, || (0..1000usize).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        // Structural proof of parallelism: with a 4-thread budget and many
+        // chunks, at least two distinct worker threads must touch items.
+        let ids = Mutex::new(HashSet::new());
+        with_num_threads(4, || {
+            (0..256u32).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.lock().unwrap().len() >= 2, "expected work on ≥ 2 threads");
+    }
+
+    #[test]
+    fn override_is_scoped_and_nested() {
+        let ambient = current_num_threads();
+        let (inner, innermost) = with_num_threads(3, || {
+            (current_num_threads(), with_num_threads(5, current_num_threads))
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(innermost, 5);
+        assert_eq!(current_num_threads(), ambient);
+    }
+
+    #[test]
+    fn join_returns_both_in_order() {
+        for threads in [1usize, 2, 4] {
+            let (a, b) = with_num_threads(threads, || join(|| 1 + 1, || "b"));
+            assert_eq!((a, b), (2, "b"));
+        }
+    }
+
+    #[test]
+    fn workers_run_nested_calls_inline() {
+        // A nested parallel call inside a worker sees a 1-thread budget.
+        let nested: Vec<usize> = with_num_threads(4, || {
+            (0..8u32)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(nested.iter().all(|&n| n == 1), "nested budgets: {nested:?}");
     }
 }
