@@ -4,11 +4,14 @@
 //!
 //! ```text
 //! reproduce [--quick] [e1 e2 … | all]      # experiment tables
+//! reproduce corpus [--quick]               # corpus × partitioners table;
+//!                                          #   exits 1 if any pipeline
+//!                                          #   Theorem-5 ratio exceeds 1
 //! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_3.json
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
 //! ```
 
-use mmb_bench::{experiments, perf};
+use mmb_bench::{corpus, experiments, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +23,21 @@ fn main() {
         .collect();
 
     match words.first() {
+        Some(&"corpus") => {
+            let out = corpus::run_corpus(quick);
+            out.table.print();
+            if !out.gate_ok {
+                eprintln!(
+                    "corpus gate FAILED: pipeline Theorem-5 ratio {:.3} > 1.0 on entry `{}`",
+                    out.worst_pipeline_ratio, out.worst_entry
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "corpus gate ok: worst pipeline Theorem-5 ratio {:.3} (entry `{}`)",
+                out.worst_pipeline_ratio, out.worst_entry
+            );
+        }
         Some(&"bench") => {
             let out = args
                 .iter()

@@ -1,0 +1,150 @@
+//! The `reproduce corpus` report: every [`Corpus`] entry × every
+//! [`Partitioner`], scored uniformly.
+//!
+//! For each corpus entry the table records, per algorithm, the maximum
+//! boundary cost, the Theorem-5 right-hand side at the entry's exponent
+//! (`p = 1` by the corpus convention — see `mmb_instances::corpus`), the
+//! measured/bound ratio, the strict-balance slack/defect, and whether
+//! eq. (1) holds. After the corpus proper, the sweep appends the
+//! `Corpus::small()` entries — the only ones inside the exhaustive
+//! search cap — where the exact oracle joins the pipeline as the
+//! ground-truth row.
+//!
+//! [`run_corpus`] also computes the CI gate: the worst Theorem-5 ratio
+//! of the *pipeline* rows **over the corpus proper**. The corpus
+//! instances are sized so this stays below 1; a regression that pushes
+//! any entry past the bound fails the `reproduce corpus` invocation
+//! (exit code 1 in the binary). The small-entry section is excluded from
+//! the gate: at n ≤ 10 the unit-constant Theorem-5 RHS is not a theorem
+//! even for the optimum (see `tests/oracle_differential.rs`, which gates
+//! that regime against the Theorem-4 form instead).
+
+use mmb_core::api::{Partitioner, Theorem4Pipeline};
+use mmb_core::bounds;
+use mmb_core::oracle::{ExactOracle, ORACLE_MAX_VERTICES};
+use mmb_instances::corpus::{Corpus, CorpusEntry};
+
+use crate::table::Table;
+use crate::{fmt, run_scored, standard_baselines};
+
+/// Outcome of a corpus sweep: the printable table plus the CI gate data.
+#[derive(Clone, Debug)]
+pub struct CorpusOutcome {
+    /// The cross-partitioner quality table.
+    pub table: Table,
+    /// Worst pipeline Theorem-5 ratio across the corpus proper (the
+    /// ungated small-entry ground-truth section is excluded; see the
+    /// module docs).
+    pub worst_pipeline_ratio: f64,
+    /// Name of the entry attaining [`CorpusOutcome::worst_pipeline_ratio`].
+    pub worst_entry: String,
+    /// Whether every entry's pipeline ratio is ≤ 1 (the CI gate).
+    pub gate_ok: bool,
+}
+
+/// Score one entry with one algorithm into a table row.
+fn score_row(entry: &CorpusEntry, algo: &dyn Partitioner) -> Option<(Vec<String>, f64)> {
+    let inst = &entry.instance;
+    let (chi, s) = run_scored(algo, inst, entry.k).ok()?;
+    let bound = bounds::theorem5(entry.p, entry.k, inst.cost_norm(entry.p), inst.max_cost());
+    let ratio = s.max_boundary / bound.max(1e-300);
+    let slack = bounds::strict_slack(entry.k, inst.max_weight());
+    let row = vec![
+        entry.family.to_string(),
+        entry.name.clone(),
+        algo.name().to_string(),
+        inst.num_vertices().to_string(),
+        inst.num_edges().to_string(),
+        entry.k.to_string(),
+        fmt(s.max_boundary),
+        fmt(bound),
+        fmt(ratio),
+        fmt(slack),
+        fmt(s.strict_defect),
+        if chi.is_strictly_balanced(inst.weights()) { "yes".into() } else { "no".into() },
+    ];
+    Some((row, ratio))
+}
+
+/// Run the corpus sweep (standard corpus, or the quick one for CI
+/// smoke) over the pipeline, every baseline, and — on oracle-sized
+/// entries — the exact oracle.
+pub fn run_corpus(quick: bool) -> CorpusOutcome {
+    let corpus = if quick { Corpus::quick() } else { Corpus::standard() };
+    let mut table = Table::new(
+        format!(
+            "CORPUS: {} entries × partitioners — cost vs Theorem-5 RHS at p = 1 (gate: pipeline ratio ≤ 1)",
+            corpus.len()
+        ),
+        &[
+            "family", "entry", "algorithm", "n", "m", "k", "max ∂", "Thm5", "ratio",
+            "slack", "defect", "strict",
+        ],
+    );
+    let pipeline = Theorem4Pipeline::default();
+    let baselines = standard_baselines();
+    let oracle = ExactOracle;
+    let mut worst = 0.0f64;
+    let mut worst_entry = String::new();
+    for entry in &corpus {
+        let (row, ratio) =
+            score_row(entry, &pipeline).expect("pipeline runs on every corpus entry");
+        table.row(row);
+        if ratio > worst {
+            worst = ratio;
+            worst_entry = entry.name.clone();
+        }
+        for algo in &baselines {
+            if let Some((row, _)) = score_row(entry, algo.as_ref()) {
+                table.row(row);
+            }
+        }
+    }
+    // Ground-truth section: the small corpus is the oracle-sized regime;
+    // pipeline vs exact optimum per entry (excluded from the gate — see
+    // the module docs).
+    for entry in &Corpus::small() {
+        debug_assert!(entry.instance.num_vertices() <= ORACLE_MAX_VERTICES);
+        if let Some((row, _)) = score_row(entry, &pipeline) {
+            table.row(row);
+        }
+        if let Some((row, _)) = score_row(entry, &oracle) {
+            table.row(row);
+        }
+    }
+    table.note(format!(
+        "gate: worst pipeline ratio {} on entry `{}` — must stay ≤ 1.0 (corpus proper only)",
+        fmt(worst),
+        worst_entry
+    ));
+    table.note(
+        "trailing n ≤ 10 section: pipeline vs the exact oracle (ground truth); \
+         not gated — the unit-constant RHS is not a theorem at that scale",
+    );
+    CorpusOutcome { table, worst_pipeline_ratio: worst, worst_entry, gate_ok: worst <= 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpus_sweep_passes_the_gate() {
+        let out = run_corpus(true);
+        assert!(
+            out.gate_ok,
+            "pipeline Theorem-5 ratio {} exceeds 1.0 on `{}`",
+            out.worst_pipeline_ratio, out.worst_entry
+        );
+        // Every corpus-proper entry contributes the pipeline + 5 baseline
+        // rows, and every small entry a pipeline + oracle pair.
+        assert!(
+            out.table.rows.len() >= 6 * Corpus::quick().len() + 2 * Corpus::small().len()
+        );
+        // The oracle actually appears.
+        assert!(
+            out.table.rows.iter().any(|r| r[2] == "oracle (exact)"),
+            "no oracle rows in the corpus table"
+        );
+    }
+}

@@ -15,13 +15,30 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod experiments;
 pub mod perf;
 pub mod table;
 
+use mmb_baselines::greedy::{FirstFit, Lpt, RoundRobin};
+use mmb_baselines::multilevel::Multilevel;
+use mmb_baselines::recursive_bisection::RecursiveBisection;
 use mmb_core::api::{Instance, Partitioner, SolveError};
 use mmb_graph::measure::{norm_1, norm_inf};
 use mmb_graph::{Coloring, Graph};
+
+/// The standard baseline roster every cross-partitioner sweep scores —
+/// one constructor so the corpus table and the oracle differential suite
+/// cannot drift apart when a baseline is added or reconfigured.
+pub fn standard_baselines() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(Lpt),
+        Box::new(FirstFit),
+        Box::new(RoundRobin),
+        Box::new(RecursiveBisection { kst: false }),
+        Box::new(Multilevel::default()),
+    ]
+}
 
 /// Uniform quality score of a coloring on an instance.
 #[derive(Clone, Debug)]

@@ -76,6 +76,7 @@ pub mod api;
 pub mod bounds;
 pub mod conquer;
 pub mod multibalance;
+pub mod oracle;
 pub mod pi;
 pub mod pipeline;
 pub mod rebalance;
@@ -88,6 +89,7 @@ pub use api::{
     auto_splitter, solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
     SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
+pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
 pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy};
 
 /// Commonly used items for downstream crates.
@@ -97,6 +99,7 @@ pub mod prelude {
         SplitterChoice,
     };
     pub use crate::bounds;
+    pub use crate::oracle::{exact_min_max_boundary, ExactOracle};
     pub use crate::pi::splitting_cost_measure;
     pub use crate::pipeline::{
         decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy,

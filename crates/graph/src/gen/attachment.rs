@@ -1,0 +1,104 @@
+//! Preferential-attachment (Barabási–Albert style) graphs.
+//!
+//! The classic power-law family: each arriving vertex attaches to
+//! `attach` distinct earlier vertices chosen proportionally to their
+//! current degree (plus one, so isolated seeds stay reachable). The
+//! result has a heavy-tailed degree distribution — hubs whose
+//! cost-weighted degree `Δ_c` dwarfs `‖c‖_∞` — which makes it the
+//! corpus's *deliberately ill-behaved* family: Theorem 5's well-behaved
+//! preconditions fail here, so the honest bound is the `p = 1` form.
+//!
+//! With `attach = 1` every new vertex adds exactly one edge, so the graph
+//! is a tree (a random recursive tree with preferential attachment) and
+//! structure detection classifies it as a forest — a useful corner for
+//! the auto-splitter tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Preferential-attachment graph on `n ≥ 1` vertices: vertex `i` attaches
+/// to `min(attach, i)` *distinct* earlier vertices sampled with
+/// probability proportional to `degree + 1`. Deterministic given `seed`.
+///
+/// Edge count: `Σ_{i<n} min(attach, i)`, i.e. `attach·n − attach·(attach+1)/2`
+/// for `n > attach`. Always connected.
+///
+/// # Panics
+/// Panics if `n == 0` or `attach == 0`.
+pub fn preferential_attachment(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one vertex");
+    assert!(attach >= 1, "each vertex must attach at least one edge");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x8CB92BA72F3D8DD7);
+    let mut b = GraphBuilder::new(n);
+    // `pool` holds one entry per unit of (degree + 1): sampling uniformly
+    // from it is sampling vertices ∝ degree + 1. Vertex birth contributes
+    // the +1 entry; every accepted edge contributes one entry per endpoint.
+    let mut pool: Vec<u32> = vec![0];
+    let mut targets: Vec<u32> = Vec::with_capacity(attach);
+    for v in 1..n as u32 {
+        targets.clear();
+        let want = attach.min(v as usize);
+        // Rejection-sample distinct targets; the pool always contains at
+        // least `v` distinct vertices, so `want ≤ v` targets always exist
+        // and the loop terminates (deterministically, given the seed).
+        while targets.len() < want {
+            let t = pool[rng.random_range(0..pool.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            pool.push(t);
+            pool.push(v);
+        }
+        pool.push(v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_and_connectivity() {
+        for (n, attach) in [(30usize, 1usize), (50, 2), (40, 3)] {
+            let g = preferential_attachment(n, attach, 9);
+            let expect: usize = (0..n).map(|i| attach.min(i)).sum();
+            assert_eq!(g.num_edges(), expect, "n={n} attach={attach}");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn attach_one_is_a_tree() {
+        let g = preferential_attachment(64, 1, 4);
+        assert_eq!(g.num_edges(), 63);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = preferential_attachment(80, 2, 13);
+        let b = preferential_attachment(80, 2, 13);
+        assert_eq!(a.edge_list(), b.edge_list());
+        let c = preferential_attachment(80, 2, 14);
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn grows_hubs() {
+        // Preferential attachment must concentrate degree: the maximum
+        // degree should clearly exceed the average (2m/n ≈ 2·attach).
+        let g = preferential_attachment(300, 2, 7);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_degree() as f64 >= 2.5 * avg,
+            "no hub: max degree {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Random geometric graphs.
+//!
+//! `n` points uniform in the unit square, an edge whenever the Euclidean
+//! distance is at most `radius`. The family is the "irregular mesh"
+//! stand-in of the corpus: spatially local like a grid (so separator-style
+//! splitters do well) but without any lattice structure for
+//! [`crate::recognize`] to latch onto.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// A random geometric graph together with the points that induced it
+/// (kept so tests can verify the edge ⟺ distance-threshold invariant).
+#[derive(Clone, Debug)]
+pub struct GeometricGraph {
+    /// The graph; vertex `v` sits at `points[v]`.
+    pub graph: Graph,
+    /// Sampled positions in `[0, 1)²`, indexed by vertex id.
+    pub points: Vec<[f64; 2]>,
+    /// The connection radius.
+    pub radius: f64,
+}
+
+/// Sample a random geometric graph: `n` iid uniform points in `[0, 1)²`,
+/// edges between pairs at Euclidean distance ≤ `radius`. Deterministic
+/// given `seed`; `O(n²)` construction (corpus sizes are small).
+///
+/// # Panics
+/// Panics if `n == 0` or `radius` is not positive and finite.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
+    assert!(n >= 1, "need at least one point");
+    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545F4914F6CDD1D);
+    let points: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
+        .collect();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            let dx = points[u][0] - points[v][0];
+            let dy = points[u][1] - points[v][1];
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    GeometricGraph { graph: b.build(), points, radius }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_iff_within_radius() {
+        let gg = random_geometric(60, 0.25, 3);
+        let r2 = gg.radius * gg.radius;
+        for u in 0..60u32 {
+            for v in u + 1..60 {
+                let dx = gg.points[u as usize][0] - gg.points[v as usize][0];
+                let dy = gg.points[u as usize][1] - gg.points[v as usize][1];
+                let within = dx * dx + dy * dy <= r2;
+                assert_eq!(gg.graph.has_edge(u, v), within, "pair {u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_geometric(100, 0.2, 21);
+        let b = random_geometric(100, 0.2, 21);
+        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+        assert_eq!(a.points, b.points);
+        let c = random_geometric(100, 0.2, 22);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn radius_monotone_in_edge_count() {
+        let small = random_geometric(80, 0.1, 5);
+        let large = random_geometric(80, 0.3, 5);
+        // Same points (same seed), larger radius ⇒ superset of edges.
+        assert_eq!(small.points, large.points);
+        assert!(large.graph.num_edges() >= small.graph.num_edges());
+        for &(u, v) in small.graph.edge_list() {
+            assert!(large.graph.has_edge(u, v));
+        }
+    }
+}

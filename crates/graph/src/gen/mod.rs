@@ -7,10 +7,25 @@
 //!   attachment trees, caterpillars).
 //! * [`misc`] — paths, cycles, stars, cliques, ladders; small named graphs
 //!   for tests.
+//! * [`attachment`] — preferential-attachment (power-law) graphs: hubs,
+//!   heavy-tailed degrees, deliberately ill-behaved.
+//! * [`geometric`] — random geometric graphs: spatially local meshes
+//!   without lattice structure.
+//! * [`smallworld`] — Watts–Strogatz ring lattices with rewired
+//!   long-range shortcuts.
+//! * [`lattice`] — hypercubes (`Q_d` *is* a `[0,2)^d` grid) and torus
+//!   lattices (wrap-around cycles that must *not* be mistaken for grids).
+//! * [`community`] — planted-partition / stochastic-block-model graphs
+//!   with ground-truth communities.
 //!
 //! All randomized generators take an explicit `u64` seed and are
 //! deterministic given the seed.
 
+pub mod attachment;
+pub mod community;
+pub mod geometric;
 pub mod grid;
+pub mod lattice;
 pub mod misc;
+pub mod smallworld;
 pub mod tree;

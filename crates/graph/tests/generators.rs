@@ -1,0 +1,199 @@
+//! Property tests for the corpus generator families.
+//!
+//! Three invariant groups per family:
+//!
+//! * **seed determinism** — the same seed yields a bit-identical graph
+//!   (edge lists compare exactly; the experiment harness depends on it);
+//! * **shape invariants** — edge counts, degree bounds, connectivity;
+//! * **structure-detection guards** — `recognize` must accept hypercubes
+//!   (they *are* `[0,2)^d` lattices, and the reconstructed embedding must
+//!   verify) and must *not* classify tori, rewired rings, or
+//!   planted-partition blobs as grid paths/lattices unless they truly
+//!   embed — a false "grid" verdict would hand GridSplit broken geometry.
+
+use mmb_graph::gen::attachment::preferential_attachment;
+use mmb_graph::gen::community::planted_partition;
+use mmb_graph::gen::geometric::random_geometric;
+use mmb_graph::gen::lattice::{hypercube, torus};
+use mmb_graph::gen::smallworld::watts_strogatz;
+use mmb_graph::recognize::{recognize, Structure};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn preferential_attachment_invariants(
+        n in 2usize..120,
+        attach in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = preferential_attachment(n, attach, seed);
+        let h = preferential_attachment(n, attach, seed);
+        prop_assert_eq!(g.edge_list(), h.edge_list(), "seed determinism");
+        let expect: usize = (0..n).map(|i| attach.min(i)).sum();
+        prop_assert_eq!(g.num_edges(), expect);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_geometric_invariants(
+        n in 1usize..80,
+        r in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let a = random_geometric(n, r, seed);
+        let b = random_geometric(n, r, seed);
+        prop_assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+        prop_assert_eq!(&a.points, &b.points);
+        // Edge ⟺ distance ≤ r, for every pair.
+        let r2 = r * r;
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                let dx = a.points[u as usize][0] - a.points[v as usize][0];
+                let dy = a.points[u as usize][1] - a.points[v as usize][1];
+                prop_assert_eq!(a.graph.has_edge(u, v), dx * dx + dy * dy <= r2);
+            }
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_invariants(
+        n in 7usize..120,
+        k_half in 1usize..3,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = watts_strogatz(n, k_half, beta, seed);
+        let h = watts_strogatz(n, k_half, beta, seed);
+        prop_assert_eq!(g.edge_list(), h.edge_list());
+        // Rewiring preserves the edge count exactly.
+        prop_assert_eq!(g.num_edges(), n * k_half);
+        prop_assert!(g.max_degree() >= k_half, "every rewire keeps an endpoint");
+    }
+
+    #[test]
+    fn planted_partition_invariants(
+        n in 8usize..90,
+        groups in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let pp = planted_partition(n, groups, 0.7, 0.05, seed);
+        let qq = planted_partition(n, groups, 0.7, 0.05, seed);
+        prop_assert_eq!(pp.graph.edge_list(), qq.graph.edge_list());
+        prop_assert_eq!(&pp.communities, &qq.communities);
+        // Communities partition the vertices into near-equal blocks.
+        let mut sizes = vec![0usize; groups];
+        for &c in &pp.communities {
+            sizes[c as usize] += 1;
+        }
+        let (lo, hi) = (n / groups, n.div_ceil(groups));
+        prop_assert!(sizes.iter().all(|&s| (lo..=hi).contains(&s)), "{:?}", sizes);
+        prop_assert!(pp.ground_truth().is_total());
+    }
+
+    #[test]
+    fn tori_never_classify_as_grids_unless_they_truly_embed(
+        a in 3usize..7,
+        b in 3usize..7,
+    ) {
+        // A torus embeds in a box lattice iff every factor cycle does:
+        // C₄ ≅ Q₂ (the 2×2 box), so torus[4,4] ≅ Q₄ genuinely *is* a
+        // grid — every other extent in 3..7 yields an odd cycle (3, 5)
+        // or a graph no degree-argument-compatible box can host (6), so
+        // a "grid" (or "path") verdict would be a soundness bug.
+        let g = torus(&[a, b]);
+        let s = recognize(&g);
+        if a == 4 && b == 4 {
+            prop_assert_eq!(s.name(), "grid", "torus [4,4] is Q4");
+        } else {
+            prop_assert_eq!(s.name(), "arbitrary", "torus [{}, {}]", a, b);
+        }
+    }
+}
+
+#[test]
+fn hypercubes_truly_embed_and_are_recognized() {
+    for d in 2..=5usize {
+        let g = hypercube(d);
+        match recognize(&g) {
+            Structure::Grid(found) => {
+                // The reconstructed embedding must be a verified grid
+                // embedding of the same graph under the same ids.
+                assert_eq!(found.dim, d, "Q_{d} embeds as [0,2)^{d}");
+                for &(u, v) in g.edge_list() {
+                    let dist: i64 = found
+                        .coord(u)
+                        .iter()
+                        .zip(found.coord(v))
+                        .map(|(x, y)| (x - y).abs())
+                        .sum();
+                    assert_eq!(dist, 1, "Q_{d} edge {u}-{v}");
+                }
+            }
+            s => panic!("hypercube Q_{d} classified as {}", s.name()),
+        }
+    }
+}
+
+#[test]
+fn degenerate_tori_that_do_embed_are_fair_game() {
+    // torus([2,2]) is the 4-cycle = the 2×2 lattice; torus([2,2,2]) is
+    // Q₃. These *truly embed*, so a "grid" verdict is correct.
+    assert_eq!(recognize(&torus(&[2, 2])).name(), "grid");
+    assert_eq!(recognize(&torus(&[2, 2, 2])).name(), "grid");
+    // A 1×n torus is the n-cycle: not a lattice for n ≥ 5 (C₄ is).
+    assert_eq!(recognize(&torus(&[1, 5])).name(), "arbitrary");
+    assert_eq!(recognize(&torus(&[1, 4])).name(), "grid");
+}
+
+#[test]
+fn attachment_trees_are_recognized_as_forests() {
+    // attach = 1 produces a tree: the auto-splitter must see a forest,
+    // not fall back to BFS.
+    let g = preferential_attachment(40, 1, 9);
+    assert_eq!(recognize(&g).name(), "forest");
+}
+
+#[test]
+fn rewired_rings_are_not_paths() {
+    // A ring (beta = 0, k_half = 1) is a cycle — degree ≤ 2 everywhere
+    // but *not* a union of paths; recognition must not call it one.
+    let ring = watts_strogatz(12, 1, 0.0, 0);
+    assert_eq!(recognize(&ring).name(), "arbitrary");
+    // Heavier rewiring leaves an arbitrary graph too (n = 12 keeps the
+    // chance of accidentally producing a path negligible but the check
+    // exact: max degree > 2 or a cycle survives).
+    let rewired = watts_strogatz(12, 2, 0.5, 3);
+    assert_eq!(recognize(&rewired).name(), "arbitrary");
+}
+
+#[test]
+fn planted_partitions_are_not_misclassified_as_lattices() {
+    for seed in 0..4 {
+        let pp = planted_partition(36, 3, 0.6, 0.05, seed);
+        let s = recognize(&pp.graph);
+        assert_ne!(s.name(), "grid", "seed {seed}");
+        assert_ne!(s.name(), "path", "seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        preferential_attachment(60, 2, 1).edge_list(),
+        preferential_attachment(60, 2, 2).edge_list()
+    );
+    assert_ne!(
+        watts_strogatz(60, 2, 0.3, 1).edge_list(),
+        watts_strogatz(60, 2, 0.3, 2).edge_list()
+    );
+    assert_ne!(
+        random_geometric(60, 0.2, 1).points,
+        random_geometric(60, 0.2, 2).points
+    );
+    assert_ne!(
+        planted_partition(60, 3, 0.5, 0.05, 1).graph.edge_list(),
+        planted_partition(60, 3, 0.5, 0.05, 2).graph.edge_list()
+    );
+}

@@ -1,0 +1,310 @@
+//! The standard instance corpus: one registry every bench, experiment and
+//! test iterates uniformly.
+//!
+//! A [`CorpusEntry`] bundles a generated graph family with a weight
+//! profile ([`crate::weights::WeightFamily`]) and a cost profile
+//! ([`crate::costs::CostFamily`]) into a validated
+//! [`Instance`], plus the evaluation parameters the harness needs: the
+//! class count `k` and the norm exponent `p` at which the Theorem-5
+//! right-hand side is computed.
+//!
+//! ## The exponent convention
+//!
+//! Theorem 5's RHS `‖c‖_p/k^{1/p} + ‖c‖_∞` is only a (constant-free)
+//! upper bound where the instance's splittability `σ_p` is actually
+//! bounded. The corpus therefore evaluates every family at `p = 1`: the
+//! `p → 1` instantiation `‖c‖₁/k + ‖c‖_∞` is the honest, family-agnostic
+//! form (prefix cuts certify `σ₁ = O(1)` on *every* graph), and it is the
+//! bound the `reproduce corpus` CI gate enforces at ratio ≤ 1. The
+//! sharper natural exponents (`d/(d−1)` on lattices) stay the business of
+//! the dedicated experiments E1/E5, whose ratio columns are *bounded*,
+//! not ≤ 1, because the theorem's constant is not 1.
+//!
+//! Three sizes:
+//!
+//! * [`Corpus::standard`] — the full registry (hundreds of vertices per
+//!   entry): every family × two weight/cost profiles;
+//! * [`Corpus::quick`] — the same shape at CI-smoke sizes;
+//! * [`Corpus::small`] — `n ≤ 10` entries for the exact-oracle
+//!   differential suite (the oracle is exponential in `n`).
+
+use mmb_core::api::Instance;
+use mmb_graph::gen::attachment::preferential_attachment;
+use mmb_graph::gen::community::planted_partition;
+use mmb_graph::gen::geometric::random_geometric;
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::lattice::{hypercube, torus};
+use mmb_graph::gen::smallworld::watts_strogatz;
+use mmb_graph::gen::tree::random_tree;
+use mmb_graph::Graph;
+
+use crate::costs::CostFamily;
+use crate::weights::WeightFamily;
+
+/// One named corpus instance: a generated graph paired with weight/cost
+/// profiles, plus the harness parameters (`k`, `p`) it is evaluated at.
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// Unique entry name, e.g. `"pa-uniform-unit"`.
+    pub name: String,
+    /// Graph family tag: `"pa"`, `"rgg"`, `"ws"`, `"hypercube"`,
+    /// `"torus"`, `"sbm"`, `"grid"`, or `"tree"`.
+    pub family: &'static str,
+    /// Human-readable generator parameters (sizes, probabilities, seed).
+    pub params: String,
+    /// Class count the harness partitions this entry into.
+    pub k: usize,
+    /// Norm exponent for the Theorem-5 RHS (the corpus convention is
+    /// `p = 1`; see the module docs).
+    pub p: f64,
+    /// The validated instance (graph + costs + weights).
+    pub instance: Instance,
+}
+
+/// The corpus: an ordered list of [`CorpusEntry`]s, grouped by family.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+/// The two weight/cost profiles every family is paired with.
+const PROFILES: [(WeightFamily, CostFamily, f64); 2] = [
+    (WeightFamily::Uniform, CostFamily::Unit, 1.0),
+    (WeightFamily::Bimodal, CostFamily::LogUniform, 4.0),
+];
+
+impl Corpus {
+    /// The standard corpus: every family × the two standard profiles at
+    /// full (but still seconds-scale) sizes.
+    pub fn standard() -> Self {
+        Self::build(false)
+    }
+
+    /// The standard corpus at CI-smoke sizes (same families, same
+    /// profiles, smaller graphs).
+    pub fn quick() -> Self {
+        Self::build(true)
+    }
+
+    /// Small-`n` corpus for the exact-oracle differential suite: one
+    /// graph per family (two for `pa`, distinguished by a name tag) with
+    /// `n ≤ 10`, × the two standard profiles.
+    pub fn small() -> Self {
+        let mut c = Corpus::default();
+        let graphs: Vec<(&'static str, &'static str, String, Graph)> = vec![
+            ("pa", "-a1", "n=9 attach=1 seed=5".into(), preferential_attachment(9, 1, 5)),
+            ("pa", "-a2", "n=10 attach=2 seed=6".into(), preferential_attachment(10, 2, 6)),
+            ("rgg", "", "n=9 r=0.45 seed=2".into(), random_geometric(9, 0.45, 2).graph),
+            ("ws", "", "n=10 k_half=1 beta=0.2 seed=3".into(), watts_strogatz(10, 1, 0.2, 3)),
+            ("hypercube", "", "d=3".into(), hypercube(3)),
+            ("torus", "", "dims=[3,3]".into(), torus(&[3, 3])),
+            ("sbm", "", "n=10 groups=2 p_in=0.8 p_out=0.15 seed=4".into(),
+                planted_partition(10, 2, 0.8, 0.15, 4).graph),
+            ("grid", "", "dims=[5,2]".into(), GridGraph::lattice(&[5, 2]).graph),
+            ("tree", "", "n=10 max_deg=3 seed=8".into(), random_tree(10, 3, 8)),
+        ];
+        for (family, tag, params, g) in graphs {
+            for (wf, cf, phi) in PROFILES {
+                c.push(family, tag, params.clone(), g.clone(), wf, cf, phi, 3, 1.0);
+            }
+        }
+        c
+    }
+
+    fn build(quick: bool) -> Self {
+        let mut c = Corpus::default();
+        let s = if quick { 1usize } else { 2 }; // size scale
+        let graphs: Vec<(&'static str, String, Graph, usize)> = vec![
+            (
+                "pa",
+                format!("n={} attach=2 seed=5", 90 * s),
+                preferential_attachment(90 * s, 2, 5),
+                2,
+            ),
+            (
+                "rgg",
+                format!("n={} r=0.11 seed=2", 80 * s),
+                random_geometric(80 * s, 0.11, 2).graph,
+                2,
+            ),
+            (
+                "ws",
+                format!("n={} k_half=2 beta=0.08 seed=3", 90 * s),
+                watts_strogatz(90 * s, 2, 0.08, 3),
+                2,
+            ),
+            (
+                "hypercube",
+                format!("d={}", 5 + s),
+                hypercube(5 + s),
+                2,
+            ),
+            (
+                "torus",
+                format!("dims=[{0},{0}]", 6 + 4 * s),
+                torus(&[6 + 4 * s, 6 + 4 * s]),
+                2,
+            ),
+            (
+                "sbm",
+                format!("n={} groups=4 p_in={} p_out=0.01 seed=4", 80 * s,
+                    if quick { 0.16 } else { 0.08 }),
+                planted_partition(80 * s, 4, if quick { 0.16 } else { 0.08 }, 0.01, 4).graph,
+                2,
+            ),
+            (
+                "grid",
+                format!("dims=[{0},{0}]", 8 + 4 * s),
+                GridGraph::lattice(&[8 + 4 * s, 8 + 4 * s]).graph,
+                3,
+            ),
+            (
+                "tree",
+                format!("n={} max_deg=3 seed=8", 90 * s),
+                random_tree(90 * s, 3, 8),
+                2,
+            ),
+        ];
+        for (family, params, g, k) in graphs {
+            for (wf, cf, phi) in PROFILES {
+                c.push(family, "", params.clone(), g.clone(), wf, cf, phi, k, 1.0);
+            }
+        }
+        c
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal assembly of one entry
+    fn push(
+        &mut self,
+        family: &'static str,
+        tag: &str,
+        params: String,
+        g: Graph,
+        wf: WeightFamily,
+        cf: CostFamily,
+        phi: f64,
+        k: usize,
+        p: f64,
+    ) {
+        // Seeds derived from the entry position keep profiles decorrelated
+        // across entries while staying fully deterministic.
+        let seed = 0xC0FFEE ^ (self.entries.len() as u64);
+        let weights = wf.generate(g.num_vertices(), seed);
+        let costs = cf.generate_for_graph(&g, phi, seed);
+        let name = format!("{family}{tag}-{}-{}", wf.name(), cf.name());
+        let instance = Instance::new(g, costs, weights)
+            .expect("corpus generators produce valid instances");
+        self.entries.push(CorpusEntry { name, family, params, k, p, instance });
+    }
+
+    /// All entries, in registry order (grouped by family).
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct family tags, in first-appearance order.
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.family) {
+                out.push(e.family);
+            }
+        }
+        out
+    }
+
+    /// Iterate the entries of one family.
+    pub fn family_entries<'a>(
+        &'a self,
+        family: &'a str,
+    ) -> impl Iterator<Item = &'a CorpusEntry> + 'a {
+        self.entries.iter().filter(move |e| e.family == family)
+    }
+}
+
+impl<'a> IntoIterator for &'a Corpus {
+    type Item = &'a CorpusEntry;
+    type IntoIter = std::slice::Iter<'a, CorpusEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_all_families_twice() {
+        let c = Corpus::standard();
+        let fams = c.families();
+        for f in ["pa", "rgg", "ws", "hypercube", "torus", "sbm", "grid", "tree"] {
+            assert!(fams.contains(&f), "missing family {f}");
+            assert_eq!(c.family_entries(f).count(), 2, "family {f}");
+        }
+        assert_eq!(c.len(), 16);
+        // Names are unique.
+        let mut names: Vec<&str> = c.entries().iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn quick_is_smaller_but_same_shape() {
+        let q = Corpus::quick();
+        let s = Corpus::standard();
+        assert_eq!(q.len(), s.len());
+        assert_eq!(q.families(), s.families());
+        let qn: usize = q.entries().iter().map(|e| e.instance.num_vertices()).sum();
+        let sn: usize = s.entries().iter().map(|e| e.instance.num_vertices()).sum();
+        assert!(qn < sn, "quick ({qn} vertices) should be smaller than standard ({sn})");
+    }
+
+    #[test]
+    fn small_entries_fit_the_oracle_and_have_unique_names() {
+        let c = Corpus::small();
+        assert!(c.len() >= 10);
+        for e in &c {
+            assert!(e.instance.num_vertices() <= 10, "{} has n = {}", e.name, e.instance.num_vertices());
+            assert!(e.k >= 2);
+        }
+        // The two pa graphs are disambiguated by their name tags.
+        let mut names: Vec<&str> = c.entries().iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len(), "duplicate small-corpus entry names");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::quick();
+        let b = Corpus::quick();
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.instance.graph().edge_list(), y.instance.graph().edge_list());
+            assert_eq!(x.instance.weights(), y.instance.weights());
+            assert_eq!(x.instance.costs(), y.instance.costs());
+        }
+    }
+
+    #[test]
+    fn entries_carry_sane_parameters() {
+        for e in &Corpus::standard() {
+            assert!(e.k >= 2, "{}", e.name);
+            assert!(e.p >= 1.0, "{}", e.name);
+            assert!(e.instance.num_vertices() >= e.k, "{}", e.name);
+            assert!(!e.params.is_empty());
+        }
+    }
+}

@@ -3,8 +3,14 @@
 //! Theorem 19's bound grows as `log^{1/d}(φ + 1)`, so the E5/E9 experiments
 //! sweep `φ` over orders of magnitude while holding the cost *norm* roughly
 //! comparable. All families return costs in `[1, φ]`.
+//!
+//! Two entry points: [`CostFamily::generate`] for [`GridGraph`]s (the
+//! `Gradient` family follows the axis-0 coordinate) and
+//! [`CostFamily::generate_for_graph`] for bare [`Graph`]s of any family
+//! (the corpus path; `Gradient` follows normalized vertex ids instead).
 
 use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -72,6 +78,38 @@ impl CostFamily {
             }
         }
     }
+
+    /// Generate costs for a *bare* graph with target fluctuation
+    /// `phi ≥ 1` — the corpus entry point for families without grid
+    /// geometry. Same RNG stream as [`CostFamily::generate`] (so
+    /// `Unit`/`LogUniform`/`TwoLevel` agree with it on a grid's
+    /// underlying graph given the same seed); `Gradient` ramps along
+    /// normalized vertex ids — edge `{u, v}` pays
+    /// `φ^{(u+v)/(2(n−1))}` — since no coordinates exist.
+    pub fn generate_for_graph(self, g: &Graph, phi: f64, seed: u64) -> Vec<f64> {
+        assert!(phi >= 1.0, "fluctuation must be at least 1");
+        let m = g.num_edges();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA0761D6478BD642F);
+        match self {
+            CostFamily::Unit => vec![1.0; m],
+            CostFamily::LogUniform => {
+                (0..m).map(|_| phi.powf(rng.random::<f64>())).collect()
+            }
+            CostFamily::TwoLevel => (0..m)
+                .map(|_| if rng.random::<f64>() < 0.1 { phi } else { 1.0 })
+                .collect(),
+            CostFamily::Gradient => {
+                let span = (g.num_vertices().saturating_sub(1)).max(1) as f64;
+                g.edge_list()
+                    .iter()
+                    .map(|&(u, v)| {
+                        let t = (u as f64 + v as f64) / (2.0 * span);
+                        phi.powf(t)
+                    })
+                    .collect()
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +169,43 @@ mod tests {
         let a = CostFamily::LogUniform.generate(&grid, 50.0, 3);
         let b = CostFamily::LogUniform.generate(&grid, 50.0, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_variant_agrees_with_grid_variant_where_defined() {
+        // Unit/LogUniform/TwoLevel read only the edge count and the RNG
+        // stream, so the bare-graph path must be bit-identical to the
+        // grid path on the grid's own graph.
+        let grid = GridGraph::lattice(&[9, 6]);
+        for fam in [CostFamily::Unit, CostFamily::LogUniform, CostFamily::TwoLevel] {
+            let a = fam.generate(&grid, 25.0, 11);
+            let b = fam.generate_for_graph(&grid.graph, 25.0, 11);
+            assert_eq!(a, b, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn graph_variant_bounds_and_gradient() {
+        let g = mmb_graph::gen::smallworld::watts_strogatz(40, 2, 0.1, 3);
+        for fam in ALL_COST_FAMILIES {
+            for phi in [1.0, 16.0] {
+                let c = fam.generate_for_graph(&g, phi, 7);
+                assert_eq!(c.len(), g.num_edges());
+                assert!(c.iter().all(|&x| (1.0 - 1e-12..=phi + 1e-9).contains(&x)));
+                assert_eq!(c, fam.generate_for_graph(&g, phi, 7), "{}", fam.name());
+            }
+        }
+        // Id-gradient: the lowest-id edge is cheaper than the highest-id
+        // edge for phi > 1.
+        let c = CostFamily::Gradient.generate_for_graph(&g, 100.0, 0);
+        let lo = g.edge_list().iter().position(|&(u, _)| u == 0).unwrap();
+        let hi = g
+            .edge_list()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &(u, v))| u as u64 + v as u64)
+            .unwrap()
+            .0;
+        assert!(c[lo] < c[hi]);
     }
 }

@@ -16,6 +16,11 @@
 //!   disjoint copies `G̃` of a base instance all of whose balanced
 //!   separations are provably expensive, via exhaustive search (small `n`)
 //!   or grid isoperimetry.
+//! * [`corpus`] — the standard instance registry: every graph family
+//!   (grids, trees, preferential attachment, geometric, small-world,
+//!   hypercube/torus, planted partition) × weight/cost profiles, as
+//!   validated [`Instance`](mmb_core::api::Instance)s that benches,
+//!   experiments and tests iterate uniformly.
 //!
 //! All generators take explicit seeds and are deterministic.
 
@@ -23,6 +28,9 @@
 #![forbid(unsafe_code)]
 
 pub mod climate;
+pub mod corpus;
 pub mod costs;
 pub mod tight;
 pub mod weights;
+
+pub use corpus::{Corpus, CorpusEntry};

@@ -425,6 +425,75 @@ fn _object_safety_probe(s: &dyn Splitter) -> &str {
 }
 
 #[test]
+fn corpus_solver_reuse_matches_fresh_builds() {
+    // Solver-reuse regression over the whole corpus: for every entry of
+    // every family, one amortized Solver solved repeatedly produces
+    // colorings bit-identical to solvers built fresh per call — across
+    // all eight graph families and both weight/cost profiles, under both
+    // scratch policies.
+    let corpus = mmb_instances::corpus::Corpus::quick();
+    for family in corpus.families() {
+        for entry in corpus.family_entries(family) {
+            let inst = &entry.instance;
+            let amortized =
+                Solver::for_instance(inst).classes(entry.k).build().unwrap();
+            let first = amortized.solve();
+            for round in 0..2 {
+                let reused = amortized.solve();
+                assert_eq!(
+                    reused.coloring, first.coloring,
+                    "{}: reuse round {round} diverged",
+                    entry.name
+                );
+                let fresh =
+                    Solver::for_instance(inst).classes(entry.k).build().unwrap().solve();
+                assert_eq!(
+                    fresh.coloring, first.coloring,
+                    "{}: fresh build round {round} diverged",
+                    entry.name
+                );
+            }
+            // The allocating reference path agrees too.
+            let transient = Solver::for_instance(inst)
+                .classes(entry.k)
+                .config(PipelineConfig {
+                    scratch: ScratchPolicy::Transient,
+                    ..PipelineConfig::default()
+                })
+                .build()
+                .unwrap()
+                .solve();
+            assert_eq!(
+                transient.coloring, first.coloring,
+                "{}: transient diverged",
+                entry.name
+            );
+            assert!(first.is_strictly_balanced(), "{}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn corpus_families_resolve_expected_splitters() {
+    // The auto-splitter resolves the corpus families sensibly: lattices
+    // and hypercubes get GridSplit, attachment trees get the forest
+    // splitter, and the non-embeddable families fall back to BFS.
+    let corpus = mmb_instances::corpus::Corpus::quick();
+    for entry in &corpus {
+        let solver =
+            Solver::for_instance(&entry.instance).classes(entry.k).build().unwrap();
+        match entry.family {
+            "grid" | "hypercube" => assert_eq!(solver.family(), "grid", "{}", entry.name),
+            "tree" => assert_eq!(solver.family(), "forest", "{}", entry.name),
+            "torus" | "ws" | "sbm" => {
+                assert_eq!(solver.family(), "arbitrary", "{}", entry.name)
+            }
+            _ => {} // pa (attach = 2) and rgg depend on the draw
+        }
+    }
+}
+
+#[test]
 fn path_positions_used_by_auto_follow_the_walk() {
     // A path given with scrambled vertex ids: Auto must still order by the
     // walk, not by id, and pay at most one cut edge per class boundary.

@@ -1,0 +1,218 @@
+//! METIS I/O round-trip tests over the corpus, plus exhaustive
+//! malformed-input error paths.
+//!
+//! `parse(write(g)) == g` must hold *exactly* — Rust's shortest-roundtrip
+//! float formatting guarantees `f64 → string → f64` is the identity, so
+//! weights and costs compare bit-for-bit, and the builder's canonical
+//! edge ordering makes the graphs structurally identical. The suite runs
+//! the round trip over every `Corpus::quick()` entry (all eight graph
+//! families × both weight/cost profiles), over random trees/grids via a
+//! property test, and through the `.part.k` partition convention with
+//! pipeline-produced colorings. Every [`MetisError`] variant has an
+//! explicit malformed-document test.
+
+use mmb_core::api::{Partitioner, Theorem4Pipeline};
+use mmb_graph::coloring::{Coloring, UNCOLORED};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::tree::random_tree;
+use mmb_graph::io::{
+    parse_metis, parse_partition, write_metis, write_partition, MetisError,
+};
+use mmb_instances::corpus::Corpus;
+use proptest::prelude::*;
+
+#[test]
+fn corpus_instances_roundtrip_exactly() {
+    for entry in &Corpus::quick() {
+        let inst = &entry.instance;
+        let doc = write_metis(inst.graph(), inst.weights(), inst.costs());
+        let back = parse_metis(&doc).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(back.graph.edge_list(), inst.graph().edge_list(), "{}", entry.name);
+        assert_eq!(back.weights, inst.weights(), "{}", entry.name);
+        assert_eq!(back.costs, inst.costs(), "{}", entry.name);
+    }
+}
+
+#[test]
+fn corpus_partitions_roundtrip_through_part_files() {
+    // One entry per family keeps this quick while covering every graph
+    // shape; the coloring comes from the real pipeline.
+    let corpus = Corpus::quick();
+    for family in corpus.families() {
+        let entry = corpus.family_entries(family).next().unwrap();
+        let chi = Theorem4Pipeline::default()
+            .partition(&entry.instance, entry.k)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let doc = write_partition(&chi);
+        let back = parse_partition(&doc, entry.k).unwrap();
+        assert_eq!(back, chi, "{}", entry.name);
+    }
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let entry_owner = Corpus::quick();
+    let inst = &entry_owner.entries()[0].instance;
+    let doc = write_metis(inst.graph(), inst.weights(), inst.costs());
+    // Interleave comments and blank lines everywhere.
+    let mut decorated = String::from("% leading comment\n\n% another\n");
+    for line in doc.lines() {
+        decorated.push_str(line);
+        decorated.push_str("\n% inline comment line\n\n");
+    }
+    let back = parse_metis(&decorated).unwrap();
+    assert_eq!(back.graph.edge_list(), inst.graph().edge_list());
+    assert_eq!(back.weights, inst.weights());
+    assert_eq!(back.costs, inst.costs());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_instances_roundtrip(
+        n in 2usize..60,
+        seed in any::<u64>(),
+    ) {
+        let g = random_tree(n, 4, seed);
+        let weights: Vec<f64> =
+            (0..n).map(|v| 0.25 + ((seed >> (v % 48)) & 7) as f64 / 3.0).collect();
+        let costs: Vec<f64> =
+            (0..g.num_edges()).map(|e| 0.1 + ((e as u64 ^ seed) % 11) as f64 / 7.0).collect();
+        let doc = write_metis(&g, &weights, &costs);
+        let back = parse_metis(&doc).unwrap();
+        prop_assert_eq!(back.graph.edge_list(), g.edge_list());
+        prop_assert_eq!(back.weights, weights);
+        prop_assert_eq!(back.costs, costs);
+    }
+
+    #[test]
+    fn random_partitions_roundtrip(
+        n in 1usize..50,
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Partial colorings (UNCOLORED rows are written as −1) round-trip
+        // too.
+        let colors: Vec<u32> = (0..n)
+            .map(|v| {
+                let x = (seed >> (v % 53)) & 7;
+                if x == 7 { UNCOLORED } else { (x as usize % k) as u32 }
+            })
+            .collect();
+        let chi = Coloring::from_vec(k, colors);
+        let doc = write_partition(&chi);
+        let back = parse_partition(&doc, k).unwrap();
+        prop_assert_eq!(back, chi);
+    }
+}
+
+#[test]
+fn grid_roundtrip_preserves_unit_defaults() {
+    // An unweighted document parses to 1.0 weights/costs; re-serializing
+    // (which always writes weights) must parse back identically.
+    let grid = GridGraph::lattice(&[5, 4]);
+    let n = grid.graph.num_vertices();
+    let m = grid.graph.num_edges();
+    let doc = write_metis(&grid.graph, &vec![1.0; n], &vec![1.0; m]);
+    let back = parse_metis(&doc).unwrap();
+    assert_eq!(back.graph.edge_list(), grid.graph.edge_list());
+    assert_eq!(back.weights, vec![1.0; n]);
+    assert_eq!(back.costs, vec![1.0; m]);
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input error paths, one per `MetisError` shape.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_header_variants() {
+    // Empty document.
+    assert!(matches!(parse_metis(""), Err(MetisError::BadHeader(_))));
+    // Comments only — still no header.
+    assert!(matches!(parse_metis("% nothing\n% here\n"), Err(MetisError::BadHeader(_))));
+    // Too few fields.
+    assert!(matches!(parse_metis("3\n"), Err(MetisError::BadHeader(_))));
+    // Too many fields.
+    assert!(matches!(parse_metis("3 3 011 1 9\n"), Err(MetisError::BadHeader(_))));
+}
+
+#[test]
+fn bad_line_variants() {
+    // Non-integer vertex count in the header surfaces as BadLine with the
+    // header's line number.
+    match parse_metis("x 3\n") {
+        Err(MetisError::BadLine { line, .. }) => assert_eq!(line, 1),
+        other => panic!("{other:?}"),
+    }
+    // Missing adjacency line for a declared vertex.
+    assert!(matches!(parse_metis("2 1\n2\n"), Err(MetisError::BadLine { .. })));
+    // Neighbor id out of range (ids are 1-based).
+    assert!(matches!(parse_metis("2 1\n3\n1\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(parse_metis("2 1\n0\n1\n"), Err(MetisError::BadLine { .. })));
+    // Self-loop.
+    assert!(matches!(parse_metis("2 1\n1\n2\n"), Err(MetisError::BadLine { .. })));
+    // Blank adjacency line under fmt 010 (blank lines are filtered, so
+    // the parser reports the later vertex's line as missing).
+    assert!(matches!(parse_metis("2 1 010 1\n\n1.0 1\n"), Err(MetisError::BadLine { .. })));
+    // Unparsable vertex weight.
+    assert!(matches!(
+        parse_metis("2 1 010 1\nabc 2\n1.0 1\n"),
+        Err(MetisError::BadLine { .. })
+    ));
+    // Missing edge weight under fmt 001.
+    assert!(matches!(parse_metis("2 1 001\n2\n1 5.0\n"), Err(MetisError::BadLine { .. })));
+    // Unparsable edge weight.
+    assert!(matches!(
+        parse_metis("2 1 001\n2 oops\n1 5.0\n"),
+        Err(MetisError::BadLine { .. })
+    ));
+    // Asymmetric edge weights across the two endpoint lines.
+    assert!(matches!(
+        parse_metis("2 1 011 1\n1.0 2 5.0\n1.0 1 6.0\n"),
+        Err(MetisError::BadLine { .. })
+    ));
+}
+
+#[test]
+fn edge_count_mismatch_variants() {
+    // Header declares more edges than the body provides…
+    assert_eq!(
+        parse_metis("2 2\n2\n1\n").unwrap_err(),
+        MetisError::EdgeCountMismatch { declared: 2, found: 1 }
+    );
+    // …and fewer (triangle body, header says 1).
+    assert_eq!(
+        parse_metis("3 1\n2 3\n1 3\n1 2\n").unwrap_err(),
+        MetisError::EdgeCountMismatch { declared: 1, found: 3 }
+    );
+}
+
+#[test]
+fn partition_error_paths() {
+    // Unparsable class id.
+    assert!(matches!(
+        parse_partition("0\nnope\n", 3),
+        Err(MetisError::BadLine { line: 2, .. })
+    ));
+    // Class id out of range for the declared k.
+    assert!(matches!(
+        parse_partition("0\n3\n", 3),
+        Err(MetisError::BadLine { line: 2, .. })
+    ));
+    // Negative ids other than the uncolored sentinel still parse as
+    // uncolored (the `.part` convention writes −1): −7 is accepted.
+    let chi = parse_partition("-7\n1\n", 2).unwrap();
+    assert_eq!(chi.get(0), None);
+    assert_eq!(chi.get(1), Some(1));
+}
+
+#[test]
+fn error_displays_name_the_problem() {
+    let e = parse_metis("2 2\n2\n1\n").unwrap_err();
+    assert_eq!(e.to_string(), "header declares 2 edges, body has 1");
+    let e = parse_metis("").unwrap_err();
+    assert!(e.to_string().contains("bad METIS header"));
+    let e = parse_metis("2 1\n3\n1\n").unwrap_err();
+    assert!(e.to_string().contains("out of range"));
+}
