@@ -5,9 +5,10 @@
 //! ```text
 //! reproduce [--quick] [e1 e2 … | all]      # experiment tables
 //! reproduce corpus [--quick]               # corpus × partitioners table;
-//!                                          #   exits 1 if any pipeline
-//!                                          #   Theorem-5 ratio exceeds 1
-//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_3.json
+//!                                          #   exits 1 if any gate prong
+//!                                          #   fails (Thm5 ratio, trivial
+//!                                          #   or beaten certified bounds)
+//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_4.json
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
 //! ```
 
@@ -27,15 +28,33 @@ fn main() {
             let out = corpus::run_corpus(quick);
             out.table.print();
             if !out.gate_ok {
-                eprintln!(
-                    "corpus gate FAILED: pipeline Theorem-5 ratio {:.3} > 1.0 on entry `{}`",
-                    out.worst_pipeline_ratio, out.worst_entry
-                );
+                if out.worst_pipeline_ratio > 1.0 {
+                    eprintln!(
+                        "corpus gate FAILED: pipeline Theorem-5 ratio {:.3} > 1.0 on entry `{}`",
+                        out.worst_pipeline_ratio, out.worst_entry
+                    );
+                }
+                for entry in &out.trivial_entries {
+                    eprintln!(
+                        "corpus gate FAILED: entry `{entry}` has no positive certified \
+                         lower bound (gap ratio ∞)"
+                    );
+                }
+                for violation in &out.soundness_violations {
+                    eprintln!(
+                        "corpus gate FAILED: certified lower bound beaten by a strictly \
+                         balanced coloring — {violation}"
+                    );
+                }
                 std::process::exit(1);
             }
             println!(
-                "corpus gate ok: worst pipeline Theorem-5 ratio {:.3} (entry `{}`)",
-                out.worst_pipeline_ratio, out.worst_entry
+                "corpus gate ok: worst pipeline Theorem-5 ratio {:.3} (entry `{}`); \
+                 worst certified gap {:.3} (entry `{}`); all lower bounds positive and unbeaten",
+                out.worst_pipeline_ratio,
+                out.worst_entry,
+                out.worst_certified.0,
+                out.worst_certified.1
             );
         }
         Some(&"bench") => {
@@ -44,7 +63,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_3.json".to_string());
+                .unwrap_or_else(|| "BENCH_4.json".to_string());
             let report = perf::run(quick);
             let json = report.to_json();
             // Self-check before writing: an emitted file always validates.
@@ -72,7 +91,7 @@ fn main() {
                 }
             };
             match perf::validate_bench_json(&text) {
-                Ok(()) => println!("{path}: valid mmb-bench-3 document"),
+                Ok(()) => println!("{path}: valid mmb-bench-4 document"),
                 Err(e) => {
                     eprintln!("{path}: malformed: {e}");
                     std::process::exit(1);

@@ -2,7 +2,7 @@
 //! the `reproduce` binary.
 //!
 //! `reproduce bench` runs two micro-suites and emits a machine-readable
-//! `BENCH_3.json` (schema `"mmb-bench-3"`, hand-rolled writer — no serde
+//! `BENCH_4.json` (schema `"mmb-bench-4"`, hand-rolled writer — no serde
 //! in the offline environment):
 //!
 //! * **scaling** — the `decompose_scaling` configurations, each solved on
@@ -16,8 +16,12 @@
 //!
 //! Every measured pair is also checked for **bit-identical colorings**
 //! (workspace vs allocating, batch vs one-at-a-time); the run aborts if
-//! any diverge, so a committed `BENCH_3.json` doubles as an equivalence
-//! certificate.
+//! any diverge, so a committed `BENCH_4.json` doubles as an equivalence
+//! certificate. Since PR 5 each scaling row additionally records the
+//! **certified optimality gap** of the measured solve — the best
+//! `mmb_core::lower_bounds` certificate and the achieved-cost/lower
+//! ratio — so the perf trajectory carries a quality floor alongside the
+//! wall-clock numbers (schema bump `mmb-bench-3` → `mmb-bench-4`).
 //!
 //! `reproduce bench-verify <path>` re-parses a committed file with the
 //! minimal JSON reader in this module and fails (non-zero exit) if it is
@@ -26,6 +30,7 @@
 use std::time::Instant;
 
 use mmb_core::api::{solve_many, Instance, Solver};
+use mmb_core::lower_bounds::{best_lower_bound, CertifiedGap};
 use mmb_core::pipeline::{PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::Workspace;
@@ -61,6 +66,12 @@ pub struct ScalingRow {
     pub ws_peak_live: usize,
     /// Peak scratch bytes pinned (`peak_live × n × 12`).
     pub ws_peak_bytes: u64,
+    /// Best certified lower bound on the optimum for this configuration
+    /// (`mmb_core::lower_bounds`; the exact-oracle certifier never fires
+    /// at these sizes, so this is the cheap combinatorial stack).
+    pub lower: f64,
+    /// Certified gap ratio of the measured solve: `max ∂ / lower`.
+    pub certified_ratio: f64,
 }
 
 /// One row of the batch (`solve_many`) suite.
@@ -72,7 +83,7 @@ pub struct BatchRow {
     pub ms: f64,
 }
 
-/// The full perf report serialized into `BENCH_3.json`.
+/// The full perf report serialized into `BENCH_4.json`.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
     /// `"quick"` (CI smoke) or `"full"`.
@@ -167,6 +178,11 @@ pub fn run(quick: bool) -> PerfReport {
             "scratch policies diverged on side {side}"
         );
         assert_eq!(warm.coloring, ws_report.coloring, "solve() is not deterministic");
+        let gap = CertifiedGap::new(
+            best_lower_bound(&inst, k).value(),
+            ws_report.max_boundary,
+            "",
+        );
         scaling.push(ScalingRow {
             side,
             n,
@@ -181,6 +197,8 @@ pub fn run(quick: bool) -> PerfReport {
             ws_cells_dense: stats.cells_dense / solves,
             ws_peak_live: stats.peak_live,
             ws_peak_bytes: stats.peak_bytes(n),
+            lower: gap.lower,
+            certified_ratio: gap.ratio,
         });
     }
 
@@ -232,11 +250,11 @@ fn fnum(x: f64) -> String {
 }
 
 impl PerfReport {
-    /// Serialize to the `BENCH_3.json` schema (`"mmb-bench-3"`).
+    /// Serialize to the `BENCH_4.json` schema (`"mmb-bench-4"`).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mmb-bench-3\",\n");
+        s.push_str("  \"schema\": \"mmb-bench-4\",\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!(
             "  \"host\": {{ \"threads_available\": {} }},\n",
@@ -249,6 +267,7 @@ impl PerfReport {
                     "    {{ \"side\": {}, \"n\": {}, \"k\": {}, ",
                     "\"alloc_ms\": {}, \"workspace_ms\": {}, \"speedup\": {}, ",
                     "\"stage_ms\": [{}, {}, {}], ",
+                    "\"certified\": {{ \"lower\": {}, \"ratio\": {} }}, ",
                     "\"workspace\": {{ \"acquires\": {}, \"fresh_allocs\": {}, ",
                     "\"cells_touched\": {}, \"cells_dense\": {}, ",
                     "\"peak_live\": {}, \"peak_bytes\": {} }} }}{}\n"
@@ -262,6 +281,8 @@ impl PerfReport {
                 fnum(r.stage_ms[0]),
                 fnum(r.stage_ms[1]),
                 fnum(r.stage_ms[2]),
+                fnum(r.lower),
+                fnum(r.certified_ratio),
                 r.ws_acquires,
                 r.ws_fresh_allocs,
                 r.ws_cells_touched,
@@ -294,12 +315,16 @@ impl PerfReport {
     /// Human-readable summary printed alongside the JSON.
     pub fn summary(&self) -> String {
         let mut s = String::new();
-        s.push_str("# perf baselines (BENCH_3)\n");
-        s.push_str("| n | k | alloc ms | workspace ms | speedup | stage ms (P7/P11/P12) |\n");
-        s.push_str("|---|---|----------|--------------|---------|------------------------|\n");
+        s.push_str("# perf baselines (BENCH_4)\n");
+        s.push_str(
+            "| n | k | alloc ms | workspace ms | speedup | stage ms (P7/P11/P12) | lower | gap |\n",
+        );
+        s.push_str(
+            "|---|---|----------|--------------|---------|------------------------|-------|-----|\n",
+        );
         for r in &self.scaling {
             s.push_str(&format!(
-                "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2}/{:.2}/{:.2} |\n",
+                "| {} | {} | {:.2} | {:.2} | {:.2}x | {:.2}/{:.2}/{:.2} | {:.2} | {:.2}x |\n",
                 r.n,
                 r.k,
                 r.alloc_ms,
@@ -307,7 +332,9 @@ impl PerfReport {
                 r.speedup,
                 r.stage_ms[0],
                 r.stage_ms[1],
-                r.stage_ms[2]
+                r.stage_ms[2],
+                r.lower,
+                r.certified_ratio
             ));
         }
         s.push_str(&format!(
@@ -505,12 +532,13 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_3.json` document: parses, checks the schema tag and
-/// every field the downstream tooling (CI, EXPERIMENTS.md tables) reads.
+/// Validate a `BENCH_4.json` document: parses, checks the schema tag and
+/// every field the downstream tooling (CI, EXPERIMENTS.md tables) reads —
+/// including the per-row certified gap introduced with `mmb-bench-4`.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing \"schema\"")?;
-    if schema != &Json::Str("mmb-bench-3".into()) {
+    if schema != &Json::Str("mmb-bench-4".into()) {
         return Err(format!("unexpected schema tag: {schema:?}"));
     }
     for key in ["mode", "host", "batch_instances", "colorings_bit_identical"] {
@@ -543,6 +571,24 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         }
         if stages.iter().any(|s| s.as_num().is_none()) {
             return Err(format!("scaling[{i}].stage_ms entries must be finite numbers"));
+        }
+        // The certified gap: a lower bound of 0 would serialize ratio ∞
+        // as null, which the guard refuses — the committed baseline must
+        // carry a non-trivial certificate.
+        let certified = row
+            .get("certified")
+            .ok_or_else(|| format!("scaling[{i}] missing \"certified\""))?;
+        for key in ["lower", "ratio"] {
+            certified
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("scaling[{i}].certified.{key} must be a finite number"))?;
+        }
+        // A zero lower bound is a trivial certificate even when the
+        // ratio field happens to be finite — refuse it outright.
+        let lower = certified.get("lower").and_then(Json::as_num).unwrap_or(0.0);
+        if lower <= 0.0 {
+            return Err(format!("scaling[{i}].certified.lower must be positive, got {lower}"));
         }
     }
     let batch = doc
@@ -587,7 +633,31 @@ mod tests {
                 row.ws_fresh_allocs,
                 row.ws_peak_live
             );
+            // Every measured configuration certifies a non-trivial gap.
+            assert!(row.lower > 0.0, "trivial lower bound on side {}", row.side);
+            assert!(
+                row.certified_ratio.is_finite() && row.certified_ratio >= 1.0,
+                "bad certified ratio {} on side {}",
+                row.certified_ratio,
+                row.side
+            );
         }
+    }
+
+    #[test]
+    fn validator_rejects_trivial_certificates() {
+        // A zero lower bound makes the ratio ∞ → serialized as null →
+        // the guard must refuse the document.
+        let mut report = run(true);
+        report.scaling[0].lower = 0.0;
+        report.scaling[0].certified_ratio = f64::INFINITY;
+        let err = validate_bench_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("certified"), "unexpected error: {err}");
+        // And a zero lower bound with a *finite* ratio (hand-edited or a
+        // future CertifiedGap regression) must be refused just as hard.
+        report.scaling[0].certified_ratio = 1.0;
+        let err = validate_bench_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("must be positive"), "unexpected error: {err}");
     }
 
     #[test]

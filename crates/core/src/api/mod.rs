@@ -38,6 +38,7 @@ pub mod partitioner;
 pub mod report;
 pub mod solver;
 
+pub use crate::lower_bounds::CertifiedGap;
 pub use error::{validate_costs, validate_weights, InstanceError, SolveError};
 pub use instance::Instance;
 pub use partitioner::{Partitioner, Theorem4Pipeline};

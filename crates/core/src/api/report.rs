@@ -11,6 +11,7 @@ use mmb_graph::measure::{norm_1, norm_inf};
 use mmb_graph::Coloring;
 
 use crate::bounds;
+use crate::lower_bounds::CertifiedGap;
 use crate::pipeline::Decomposition;
 
 /// One row of the per-class table: `(class, weight, boundary cost)`.
@@ -73,8 +74,15 @@ pub struct Report {
     pub stages: StageReport,
     /// Wall-clock milliseconds per pipeline stage
     /// `[Prop 7, Prop 11, Prop 12]` of the solve that produced this
-    /// report (perf baselines; `BENCH_3.json`).
+    /// report (perf baselines; `BENCH_4.json`).
     pub stage_millis: [f64; 3],
+    /// Certified optimality gap — the best lower bound from the
+    /// [`lower_bounds`](crate::lower_bounds) certifier stack paired with
+    /// this solve's achieved cost. `None` from a plain
+    /// [`Solver::solve`](crate::api::Solver::solve) (certification is
+    /// off the hot path); filled by
+    /// [`Solver::solve_certified`](crate::api::Solver::solve_certified).
+    pub certified: Option<CertifiedGap>,
 }
 
 impl Report {
@@ -113,6 +121,7 @@ impl Report {
             boundary_costs,
             coloring: stage3,
             stage_millis: [0.0; 3],
+            certified: None,
         }
     }
 

@@ -308,6 +308,20 @@ impl<'i> Solver<'i> {
         report
     }
 
+    /// [`Solver::solve`], plus a certified optimality gap: the
+    /// [`lower_bounds`](crate::lower_bounds) certifier stack runs on the
+    /// instance and its best bound is paired with the achieved cost into
+    /// [`Report::certified`]. Certification cost is independent of the
+    /// solve itself (sort/knapsack passes, a size-capped Stoer–Wagner,
+    /// the exact oracle only at `n ≤ 16`), so the plain [`Solver::solve`]
+    /// hot path never pays for it.
+    pub fn solve_certified(&self) -> Report {
+        let mut report = self.solve();
+        report.certified =
+            Some(crate::lower_bounds::certify(self.inst, self.k, report.max_boundary));
+        report
+    }
+
     /// The instance this solver is bound to.
     pub fn instance(&self) -> &'i Instance {
         self.inst

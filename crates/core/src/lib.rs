@@ -67,7 +67,12 @@
 //! [`verify::verify_decomposition`]. The boundary-cost guarantee is
 //! asymptotic; [`bounds`] computes the theorems' right-hand sides so tests
 //! and benchmarks can report measured/bound ratios (experiments E1–E12 in
-//! `DESIGN.md`).
+//! `DESIGN.md`). In the other direction, [`lower_bounds`] certifies
+//! optimality gaps at any size: a stack of sound certifiers (averaging,
+//! knapsack packing, min-cut, structure-aware isoperimetry, the exact
+//! [`oracle`] below its size cap) whose best bound
+//! [`api::Solver::solve_certified`] threads into the report as a
+//! [`lower_bounds::CertifiedGap`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -75,6 +80,7 @@
 pub mod api;
 pub mod bounds;
 pub mod conquer;
+pub mod lower_bounds;
 pub mod multibalance;
 pub mod oracle;
 pub mod pi;
@@ -89,6 +95,9 @@ pub use api::{
     auto_splitter, solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
     SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
+pub use lower_bounds::{
+    best_lower_bound, certify, Certificate, CertifiedGap, LowerBound, LowerBoundReport,
+};
 pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
 pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy};
 
@@ -99,6 +108,7 @@ pub mod prelude {
         SplitterChoice,
     };
     pub use crate::bounds;
+    pub use crate::lower_bounds::{best_lower_bound, certify, CertifiedGap, LowerBound};
     pub use crate::oracle::{exact_min_max_boundary, ExactOracle};
     pub use crate::pi::splitting_cost_measure;
     pub use crate::pipeline::{

@@ -70,15 +70,20 @@ where
 /// (the pairwise class gap never exceeds `‖w‖∞`).
 pub fn greedy_strict(n: usize, k: usize, domain: &VertexSet, weights: &[f64]) -> Coloring {
     let mut order: Vec<VertexId> = domain.iter().collect();
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: instance validation
+    // rejects NaN today, but this baseline is also called directly on raw
+    // weight vectors and must stay deterministic and panic-free on every
+    // finite input (subnormals, negative zeros) — and on any future path
+    // that forgets to validate.
     order.sort_by(|&a, &b| {
-        weights[b as usize].partial_cmp(&weights[a as usize]).unwrap().then(a.cmp(&b))
+        weights[b as usize].total_cmp(&weights[a as usize]).then(a.cmp(&b))
     });
     let mut out = Coloring::new_uncolored(n, k);
     let mut load = vec![0.0f64; k];
     for v in order {
         let i = (0..k)
-            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
-            .unwrap();
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+            .expect("k >= 1 classes");
         out.set(v, i as u32);
         load[i] += weights[v as usize];
     }
@@ -145,8 +150,8 @@ pub fn binpack2<S: Splitter + ?Sized>(
     // Step 4: leftovers onto the lightest classes.
     while let Some(x) = buffer.pop() {
         let i = (0..k)
-            .min_by(|&a, &b| cw(&classes[a]).partial_cmp(&cw(&classes[b])).unwrap())
-            .unwrap();
+            .min_by(|&a, &b| cw(&classes[a]).total_cmp(&cw(&classes[b])))
+            .expect("k >= 1 classes");
         classes[i].union_with(&x);
     }
 
@@ -181,7 +186,7 @@ fn carve_piece<S: Splitter + ?Sized>(
         // progress.
         let heaviest = class
             .iter()
-            .max_by(|&a, &b| weights[a as usize].partial_cmp(&weights[b as usize]).unwrap())
+            .max_by(|&a, &b| weights[a as usize].total_cmp(&weights[b as usize]))
             .expect("class is non-empty");
         return VertexSet::from_iter(n, [heaviest]);
     }
@@ -281,6 +286,47 @@ mod tests {
         let chi2 = Coloring::from_fn(9, 3, |v| v % 3);
         let out2 = binpack2(&grid.graph, &sp, &chi2, &domain, &[0.0; 9]);
         assert!(out2.is_strictly_balanced(&[0.0; 9]));
+    }
+
+    #[test]
+    fn adversarial_finite_weights_are_deterministic_and_panic_free() {
+        // Regression for the four `partial_cmp(..).unwrap()` comparators
+        // this module used to carry: a weight vector mixing subnormals,
+        // negative zeros, exact ties and huge magnitudes must neither
+        // panic nor produce run-to-run differences. (`total_cmp` orders
+        // −0.0 < +0.0 < subnormal < …, a total order on all finite
+        // floats.)
+        let grid = GridGraph::lattice(&[6, 6]);
+        let n = 36;
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let sp = GridSplitter::new(&grid, &costs);
+        let domain = VertexSet::full(n);
+        let weights: Vec<f64> = (0..n)
+            .map(|v| match v % 6 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::MIN_POSITIVE / 2.0, // subnormal
+                3 => f64::MIN_POSITIVE,
+                4 => 1e300,
+                _ => 1.0,
+            })
+            .collect();
+        for k in [2usize, 3, 5] {
+            let greedy_a = greedy_strict(n, k, &domain, &weights);
+            let greedy_b = greedy_strict(n, k, &domain, &weights);
+            assert_eq!(greedy_a, greedy_b, "greedy_strict nondeterministic at k={k}");
+            assert!(greedy_a.is_strictly_balanced(&weights), "k={k}");
+            let chi = Coloring::monochromatic(n, k);
+            let out_a = binpack2(&grid.graph, &sp, &chi, &domain, &weights);
+            let out_b = binpack2(&grid.graph, &sp, &chi, &domain, &weights);
+            assert_eq!(out_a, out_b, "binpack2 nondeterministic at k={k}");
+            assert!(out_a.is_total_on(&domain), "k={k}");
+            assert!(
+                out_a.is_strictly_balanced(&weights),
+                "k={k}: defect {}",
+                out_a.strict_balance_defect(&weights)
+            );
+        }
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn with_scratch_mode<R>(mode: ScratchMode, f: impl FnOnce() -> R) -> R {
 }
 
 /// Allocation / reuse counters of a [`Workspace`] — the "RSS proxy" the
-/// perf baselines record (`BENCH_3.json`).
+/// perf baselines record (`BENCH_4.json`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkspaceStats {
     /// Buffer checkouts ([`Workspace::measure`] calls).
@@ -207,6 +207,16 @@ impl Workspace {
     pub fn reset_stats(&self) {
         let live = self.stats.borrow().live;
         *self.stats.borrow_mut() = WorkspaceStats { live, peak_live: live, ..Default::default() };
+    }
+
+    /// Test hook: pin the epoch of every pooled buffer, so the
+    /// wraparound path (`wrapping_add` → `epoch == 0` → stamp refill) can
+    /// be exercised without 2³² checkouts.
+    #[cfg(test)]
+    fn set_pool_epochs(&self, epoch: u32) {
+        for d in self.pool.borrow_mut().iter_mut() {
+            d.epoch = epoch;
+        }
     }
 
     fn give_back(&self, mut d: ScratchData, touched_now: u64) {
@@ -407,6 +417,43 @@ mod tests {
             ws.stats().fresh_allocs
         });
         assert_eq!(allocs, 1, "second local checkout must hit the pool");
+    }
+
+    #[test]
+    fn epoch_wraparound_keeps_the_buffer_clean() {
+        // Audit of the `wrapping_add` → `epoch == 0` re-zero path: a
+        // buffer whose epoch is at `u32::MAX` wraps on the next checkout.
+        // The stamps then hold values from *old* epochs (here 1 — exactly
+        // the value the post-wrap epoch restarts at), so without the
+        // stamp refill a stale stamp would alias the new epoch, writes
+        // would go unrecorded in the touched list, and their values would
+        // leak into later checkouts.
+        let ws = Workspace::new();
+        {
+            let mut m = ws.measure(16);
+            for v in 0..8u32 {
+                m.add(v, 1.0); // stamps[0..8] = 1
+            }
+        }
+        ws.set_pool_epochs(u32::MAX);
+        {
+            let mut m = ws.measure(16); // wraps: stamps refilled, epoch = 1
+            assert!(m.as_slice().iter().all(|&x| x == 0.0), "dense view not all-zero after wrap");
+            assert!(m.touched().is_empty(), "touched list not empty after wrap");
+            // Index 3 carried stamp 1 before the refill; its write must
+            // still be recorded exactly once.
+            m.add(3, 2.0);
+            m.add(3, 0.5);
+            assert_eq!(m.touched(), &[3], "stale stamp aliased the post-wrap epoch");
+            assert_eq!(m.get(3), 2.5);
+        }
+        // The recorded touch was re-zeroed on drop: the next checkout is
+        // clean again.
+        {
+            let m = ws.measure(16);
+            assert!(m.as_slice().iter().all(|&x| x == 0.0), "post-wrap write leaked");
+            assert!(m.touched().is_empty());
+        }
     }
 
     #[test]

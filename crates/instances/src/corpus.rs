@@ -121,10 +121,16 @@ impl Corpus {
                 preferential_attachment(90 * s, 2, 5),
                 2,
             ),
+            // The radius sits above the connectivity threshold scale
+            // `√(ln n / πn)` at each size: at quick sizes `r = 0.11`
+            // fragments into a dozen fine-grained components whose
+            // weights admit a zero-cut balanced grouping — a corpus
+            // entry with optimum 0 can never certify a positive gap
+            // (see the certified-gap gate in `reproduce corpus`).
             (
                 "rgg",
-                format!("n={} r=0.11 seed=2", 80 * s),
-                random_geometric(80 * s, 0.11, 2).graph,
+                format!("n={} r={} seed=2", 80 * s, if quick { 0.18 } else { 0.11 }),
+                random_geometric(80 * s, if quick { 0.18 } else { 0.11 }, 2).graph,
                 2,
             ),
             (
@@ -284,6 +290,31 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), c.len(), "duplicate small-corpus entry names");
+    }
+
+    #[test]
+    fn every_entry_admits_a_nontrivial_certified_lower_bound() {
+        // The corpus-wide gap expectation the `reproduce corpus` gate
+        // enforces: each entry (both profiles) must give the
+        // `mmb_core::lower_bounds` stack something to certify — an entry
+        // with optimum 0 (e.g. a fragmented RGG whose components group
+        // into a zero-cut balanced coloring) can never report a finite
+        // certified gap and has no place in the registry.
+        // All three registries, full sizes included: the full-size rgg
+        // sits close to its connectivity threshold, which is exactly
+        // where a generator tweak could silently push an entry back to
+        // optimum 0.
+        for corpus in [Corpus::standard(), Corpus::quick(), Corpus::small()] {
+            for e in &corpus {
+                let report = mmb_core::lower_bounds::best_lower_bound(&e.instance, e.k);
+                assert!(
+                    report.value() > 0.0,
+                    "{}: no certifier produced a positive bound (ran: {:?})",
+                    e.name,
+                    report.certificates.iter().map(|c| c.certifier).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! the round trip over every `Corpus::quick()` entry (all eight graph
 //! families × both weight/cost profiles), over random trees/grids via a
 //! property test, and through the `.part.k` partition convention with
-//! pipeline-produced colorings. Every [`MetisError`] variant has an
-//! explicit malformed-document test.
+//! pipeline-produced colorings (including CRLF + trailing-whitespace
+//! transport damage). Every [`MetisError`] variant has an explicit
+//! malformed-document test.
 
 use mmb_core::api::{Partitioner, Theorem4Pipeline};
 use mmb_graph::coloring::{Coloring, UNCOLORED};
@@ -172,6 +173,60 @@ fn bad_line_variants() {
         parse_metis("2 1 011 1\n1.0 2 5.0\n1.0 1 6.0\n"),
         Err(MetisError::BadLine { .. })
     ));
+}
+
+#[test]
+fn crlf_documents_roundtrip_corpus_wide() {
+    // Windows transport damage — CRLF endings and trailing whitespace on
+    // every line — must be invisible to the parser, for graphs and
+    // partitions alike. One entry per family covers every graph shape
+    // and both weight/cost formatting profiles.
+    let corpus = Corpus::quick();
+    for family in corpus.families() {
+        for entry in corpus.family_entries(family) {
+            let inst = &entry.instance;
+            let doc = write_metis(inst.graph(), inst.weights(), inst.costs());
+            let crlf: String =
+                doc.lines().map(|l| format!("{l} \r\n")).collect::<Vec<_>>().concat();
+            let back = parse_metis(&crlf).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_eq!(back.graph.edge_list(), inst.graph().edge_list(), "{}", entry.name);
+            assert_eq!(back.weights, inst.weights(), "{}", entry.name);
+            assert_eq!(back.costs, inst.costs(), "{}", entry.name);
+        }
+        let entry = corpus.family_entries(family).next().unwrap();
+        let chi = Theorem4Pipeline::default().partition(&entry.instance, entry.k).unwrap();
+        let part = write_partition(&chi).replace('\n', "\r\n");
+        assert_eq!(parse_partition(&part, entry.k).unwrap(), chi, "{}", entry.name);
+    }
+}
+
+#[test]
+fn asymmetric_adjacency_variant() {
+    // Vertex 1 lists 2; vertex 2's line does not list 1 back.
+    assert_eq!(
+        parse_metis("3 2\n2\n3\n2\n").unwrap_err(),
+        MetisError::AsymmetricAdjacency { listed_by: 1, missing_from: 2 }
+    );
+    assert!(parse_metis("3 2\n2\n3\n2\n")
+        .unwrap_err()
+        .to_string()
+        .contains("missing from vertex 2"));
+    // A duplicate listing on one line is a BadLine, not a silent count
+    // distortion.
+    assert!(matches!(
+        parse_metis("2 1\n2 2\n1\n"),
+        Err(MetisError::BadLine { line: 2, .. })
+    ));
+}
+
+#[test]
+fn trailing_content_variant() {
+    // Trailing blank/comment lines are decoration…
+    assert!(parse_metis("2 1\n2\n1\n\n  \n% eof\n").is_ok());
+    // …trailing data is a typed error naming the line.
+    let err = parse_metis("2 1\n2\n1\n7\n").unwrap_err();
+    assert_eq!(err, MetisError::TrailingContent { line: 4 });
+    assert!(err.to_string().contains("line 4"));
 }
 
 #[test]
