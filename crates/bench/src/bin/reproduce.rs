@@ -7,9 +7,13 @@
 //! reproduce corpus [--quick]               # corpus × partitioners table;
 //!                                          #   exits 1 if any gate prong
 //!                                          #   fails (Thm5 ratio, trivial
-//!                                          #   or beaten certified bounds)
-//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_4.json
+//!                                          #   or beaten certified bounds,
+//!                                          #   no bnb-proven optimum past
+//!                                          #   the oracle cap)
+//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_5.json
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
+//! reproduce gap-gate PATH                  # CI guard: fresh certified gaps
+//!                                          #   must not regress vs PATH
 //! ```
 
 use mmb_bench::{corpus, experiments, perf};
@@ -46,15 +50,23 @@ fn main() {
                          balanced coloring — {violation}"
                     );
                 }
+                if out.bnb_proven < 1 {
+                    eprintln!(
+                        "corpus gate FAILED: no past-the-oracle-cap entry solved to \
+                         proven optimality by branch and bound"
+                    );
+                }
                 std::process::exit(1);
             }
             println!(
                 "corpus gate ok: worst pipeline Theorem-5 ratio {:.3} (entry `{}`); \
-                 worst certified gap {:.3} (entry `{}`); all lower bounds positive and unbeaten",
+                 worst certified gap {:.3} (entry `{}`); {} medium entries bnb-proven \
+                 optimal; all lower bounds positive and unbeaten",
                 out.worst_pipeline_ratio,
                 out.worst_entry,
                 out.worst_certified.0,
-                out.worst_certified.1
+                out.worst_certified.1,
+                out.bnb_proven
             );
         }
         Some(&"bench") => {
@@ -63,7 +75,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_4.json".to_string());
+                .unwrap_or_else(|| "BENCH_5.json".to_string());
             let report = perf::run(quick);
             let json = report.to_json();
             // Self-check before writing: an emitted file always validates.
@@ -91,9 +103,29 @@ fn main() {
                 }
             };
             match perf::validate_bench_json(&text) {
-                Ok(()) => println!("{path}: valid mmb-bench-4 document"),
+                Ok(()) => println!("{path}: valid mmb-bench-5 document"),
                 Err(e) => {
                     eprintln!("{path}: malformed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(&"gap-gate") => {
+            let Some(path) = words.get(1) else {
+                eprintln!("usage: reproduce gap-gate <path>");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: missing or unreadable: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match perf::gap_regression_check(&text) {
+                Ok(msg) => println!("{path}: {msg}"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
                     std::process::exit(1);
                 }
             }

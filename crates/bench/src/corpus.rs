@@ -29,8 +29,17 @@
 //! small-entry section stays excluded from the Theorem-5 prong (at
 //! `n ≤ 10` the unit-constant RHS is not a theorem), but its rows are
 //! still soundness-checked.
+//!
+//! Since PR 6 a fourth section follows: the `Corpus::medium()` entries
+//! (`16 < n ≤ 20`, past the oracle's hard cap) where the anytime
+//! branch-and-bound engine joins the pipeline and — whenever its search
+//! exhausts — proves the optimum, closing the entry's certified gap to
+//! ratio 1.0. A fourth gate prong requires at least one such
+//! proven-optimal row (`bnb_proven ≥ 1`): the acceptance bar that exact
+//! solving actually extends beyond `n = 16`.
 
 use mmb_core::api::{Partitioner, Theorem4Pipeline};
+use mmb_core::bnb::{BnbConfig, BnbPartitioner};
 use mmb_core::bounds;
 use mmb_core::lower_bounds::{best_lower_bound, CertifiedGap};
 use mmb_core::oracle::{ExactOracle, ORACLE_MAX_VERTICES};
@@ -60,6 +69,10 @@ pub struct CorpusOutcome {
     /// beat the certified lower bound — the soundness prong fails if
     /// non-empty (and a certifier is wrong).
     pub soundness_violations: Vec<String>,
+    /// Medium-section entries (`n > 16`, beyond the oracle cap) the
+    /// branch-and-bound engine solved to proven optimality — the
+    /// gap-closure prong fails unless ≥ 1.
+    pub bnb_proven: usize,
     /// Whether every gate prong passed.
     pub gate_ok: bool,
 }
@@ -200,6 +213,32 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
             table.row(row);
         }
     }
+    // Past-the-cap section: the medium corpus (16 < n ≤ 20) is beyond
+    // the oracle's refusal threshold; the anytime branch-and-bound
+    // engine takes the ground-truth role, proving optimality whenever
+    // its search exhausts under the default budget.
+    let bnb = BnbPartitioner { cfg: BnbConfig::default() };
+    let mut bnb_proven = 0usize;
+    for entry in &Corpus::medium() {
+        debug_assert!(entry.instance.num_vertices() > ORACLE_MAX_VERTICES);
+        let sol = mmb_core::bnb::solve(&entry.instance, entry.k, &bnb.cfg).ok();
+        let lower = match &sol {
+            Some(s) if s.proven_optimal => {
+                bnb_proven += 1;
+                s.max_boundary
+            }
+            Some(s) => s.gap.lower,
+            None => best_lower_bound(&entry.instance, entry.k).value(),
+        };
+        if let Some((row, _, cost)) = score_row(entry, &pipeline, lower) {
+            check_soundness(entry, pipeline.name(), lower, cost);
+            table.row(row);
+        }
+        if let Some((row, _, cost)) = score_row(entry, &bnb, lower) {
+            check_soundness(entry, bnb.name(), lower, cost);
+            table.row(row);
+        }
+    }
     table.note(format!(
         "gate: worst pipeline Theorem-5 ratio {} on entry `{}` — must stay ≤ 1.0 (corpus proper only)",
         fmt(worst),
@@ -215,8 +254,16 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
         "trailing n ≤ 10 section: pipeline vs the exact oracle (ground truth); \
          not Thm5-gated — the unit-constant RHS is not a theorem at that scale",
     );
-    let gate_ok =
-        worst <= 1.0 && trivial_entries.is_empty() && soundness_violations.is_empty();
+    table.note(format!(
+        "medium 16 < n ≤ 20 section: pipeline vs the anytime branch-and-bound engine \
+         (past the oracle cap); {bnb_proven} entr{} solved to proven optimality \
+         (gate: ≥ 1)",
+        if bnb_proven == 1 { "y" } else { "ies" }
+    ));
+    let gate_ok = worst <= 1.0
+        && trivial_entries.is_empty()
+        && soundness_violations.is_empty()
+        && bnb_proven >= 1;
     CorpusOutcome {
         table,
         worst_pipeline_ratio: worst,
@@ -224,6 +271,7 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
         worst_certified,
         trivial_entries,
         soundness_violations,
+        bnb_proven,
         gate_ok,
     }
 }
@@ -251,6 +299,13 @@ mod tests {
             out.table.rows.iter().any(|r| r[2] == "oracle (exact)"),
             "no oracle rows in the corpus table"
         );
+        // …and so does the branch-and-bound engine, with at least one
+        // medium entry (n > 16) solved to proven optimality.
+        assert!(
+            out.table.rows.iter().any(|r| r[2] == "bnb (anytime)"),
+            "no bnb rows in the corpus table"
+        );
+        assert!(out.bnb_proven >= 1, "no past-the-cap entry was proven optimal");
         // Every row carries a finite certified gap (column 10): the
         // lower bound is positive corpus-wide.
         assert!(

@@ -2,7 +2,7 @@
 //! the `reproduce` binary.
 //!
 //! `reproduce bench` runs two micro-suites and emits a machine-readable
-//! `BENCH_4.json` (schema `"mmb-bench-4"`, hand-rolled writer — no serde
+//! `BENCH_5.json` (schema `"mmb-bench-5"`, hand-rolled writer — no serde
 //! in the offline environment):
 //!
 //! * **scaling** — the `decompose_scaling` configurations, each solved on
@@ -16,12 +16,24 @@
 //!
 //! Every measured pair is also checked for **bit-identical colorings**
 //! (workspace vs allocating, batch vs one-at-a-time); the run aborts if
-//! any diverge, so a committed `BENCH_4.json` doubles as an equivalence
+//! any diverge, so a committed baseline file doubles as an equivalence
 //! certificate. Since PR 5 each scaling row additionally records the
 //! **certified optimality gap** of the measured solve — the best
 //! `mmb_core::lower_bounds` certificate and the achieved-cost/lower
 //! ratio — so the perf trajectory carries a quality floor alongside the
 //! wall-clock numbers (schema bump `mmb-bench-3` → `mmb-bench-4`).
+//!
+//! Since PR 6 the report also carries a **corpus gap table**
+//! (`"corpus_gaps"`, schema bump `mmb-bench-4` → `mmb-bench-5`,
+//! `BENCH_5.json`): for every quick- and medium-corpus entry, the best
+//! certified lower bound from the full stack — including the anytime
+//! branch-and-bound certifier — against the pipeline's achieved cost,
+//! with a `proven` flag marking rows certified by an exhaustive search
+//! (`"oracle"` or `"bnb"`). These rows are timing-free and fully
+//! deterministic, so a committed baseline supports exact regression
+//! gating: [`gap_regression_check`] recomputes the table and fails if
+//! any entry's certified ratio got *worse* than the committed one — the
+//! `reproduce gap-gate` CI guard.
 //!
 //! `reproduce bench-verify <path>` re-parses a committed file with the
 //! minimal JSON reader in this module and fails (non-zero exit) if it is
@@ -29,11 +41,12 @@
 
 use std::time::Instant;
 
-use mmb_core::api::{solve_many, Instance, Solver};
+use mmb_core::api::{solve_many, Instance, Partitioner, Solver, Theorem4Pipeline};
 use mmb_core::lower_bounds::{best_lower_bound, CertifiedGap};
 use mmb_core::pipeline::{PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::Workspace;
+use mmb_instances::corpus::Corpus;
 
 /// One row of the scaling suite.
 #[derive(Clone, Debug)]
@@ -83,7 +96,61 @@ pub struct BatchRow {
     pub ms: f64,
 }
 
-/// The full perf report serialized into `BENCH_4.json`.
+/// One row of the corpus gap table (`"corpus_gaps"`): the certified
+/// optimality gap of the pipeline on one quick/medium corpus entry.
+#[derive(Clone, Debug)]
+pub struct GapRow {
+    /// Corpus entry name (unique within the table).
+    pub name: String,
+    /// `|V|`.
+    pub n: usize,
+    /// Number of classes.
+    pub k: usize,
+    /// Best certified lower bound from the full stack.
+    pub lower: f64,
+    /// The pipeline's achieved max boundary cost.
+    pub upper: f64,
+    /// `upper / lower`.
+    pub ratio: f64,
+    /// Winning certifier name.
+    pub certifier: String,
+    /// Whether the bound is an exhaustive-search optimum (`"oracle"` or
+    /// `"bnb"` won) — i.e. the gap is exact, not just certified.
+    pub proven: bool,
+}
+
+/// Compute the corpus gap table: quick + medium corpora (both
+/// mode-independent and timing-free, so the rows are exactly
+/// reproducible), pipeline cost vs the full certifier stack.
+pub fn compute_corpus_gaps() -> Vec<GapRow> {
+    let pipeline = Theorem4Pipeline::default();
+    let mut rows = Vec::new();
+    for corpus in [Corpus::quick(), Corpus::medium()] {
+        for entry in &corpus {
+            let inst = &entry.instance;
+            let report = best_lower_bound(inst, entry.k);
+            let upper = pipeline
+                .partition(inst, entry.k)
+                .expect("pipeline runs on every corpus entry")
+                .max_boundary_cost(inst.graph(), inst.costs());
+            let gap = CertifiedGap::new(report.value(), upper, report.winner());
+            let proven = matches!(report.winner(), "oracle" | "bnb");
+            rows.push(GapRow {
+                name: entry.name.clone(),
+                n: inst.num_vertices(),
+                k: entry.k,
+                lower: gap.lower,
+                upper: gap.upper,
+                ratio: gap.ratio,
+                certifier: gap.certifier,
+                proven,
+            });
+        }
+    }
+    rows
+}
+
+/// The full perf report serialized into `BENCH_5.json`.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
     /// `"quick"` (CI smoke) or `"full"`.
@@ -96,6 +163,9 @@ pub struct PerfReport {
     pub batch_instances: usize,
     /// Batch suite rows, by thread count.
     pub batch: Vec<BatchRow>,
+    /// Corpus gap table (quick + medium corpora; mode-independent —
+    /// see [`compute_corpus_gaps`]).
+    pub corpus_gaps: Vec<GapRow>,
     /// Whether every measured pair produced bit-identical colorings
     /// (always true for an emitted report; the run aborts otherwise).
     pub colorings_bit_identical: bool,
@@ -237,6 +307,7 @@ pub fn run(quick: bool) -> PerfReport {
         scaling,
         batch_instances: instances.len(),
         batch,
+        corpus_gaps: compute_corpus_gaps(),
         colorings_bit_identical: all_identical,
     }
 }
@@ -249,12 +320,23 @@ fn fnum(x: f64) -> String {
     }
 }
 
+/// Full round-trip serialization for gap-table floats: the regression
+/// gate re-parses these and compares against freshly computed values, so
+/// rounding to 3 decimals would manufacture spurious "regressions".
+fn fnum_exact(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
 impl PerfReport {
-    /// Serialize to the `BENCH_4.json` schema (`"mmb-bench-4"`).
+    /// Serialize to the `BENCH_5.json` schema (`"mmb-bench-5"`).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mmb-bench-4\",\n");
+        s.push_str("  \"schema\": \"mmb-bench-5\",\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!(
             "  \"host\": {{ \"threads_available\": {} }},\n",
@@ -304,6 +386,26 @@ impl PerfReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"corpus_gaps\": [\n");
+        for (i, r) in self.corpus_gaps.iter().enumerate() {
+            s.push_str(&format!(
+                concat!(
+                    "    {{ \"name\": \"{}\", \"n\": {}, \"k\": {}, ",
+                    "\"lower\": {}, \"upper\": {}, \"ratio\": {}, ",
+                    "\"certifier\": \"{}\", \"proven\": {} }}{}\n"
+                ),
+                r.name,
+                r.n,
+                r.k,
+                fnum_exact(r.lower),
+                fnum_exact(r.upper),
+                fnum_exact(r.ratio),
+                r.certifier,
+                r.proven,
+                if i + 1 < self.corpus_gaps.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str(&format!(
             "  \"colorings_bit_identical\": {}\n",
             self.colorings_bit_identical
@@ -315,7 +417,7 @@ impl PerfReport {
     /// Human-readable summary printed alongside the JSON.
     pub fn summary(&self) -> String {
         let mut s = String::new();
-        s.push_str("# perf baselines (BENCH_4)\n");
+        s.push_str("# perf baselines (BENCH_5)\n");
         s.push_str(
             "| n | k | alloc ms | workspace ms | speedup | stage ms (P7/P11/P12) | lower | gap |\n",
         );
@@ -345,6 +447,15 @@ impl PerfReport {
                 .map(|b| format!("{} thread(s): {:.2} ms", b.threads, b.ms))
                 .collect::<Vec<_>>()
                 .join(", ")
+        ));
+        let proven = self.corpus_gaps.iter().filter(|r| r.proven).count();
+        let proven_past_cap =
+            self.corpus_gaps.iter().filter(|r| r.proven && r.n > 16).count();
+        s.push_str(&format!(
+            "corpus gaps: {} entries, {} proven optimal ({} past the n = 16 oracle cap)\n",
+            self.corpus_gaps.len(),
+            proven,
+            proven_past_cap
         ));
         s.push_str(&format!(
             "host threads: {}; colorings bit-identical: {}\n",
@@ -532,13 +643,15 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_4.json` document: parses, checks the schema tag and
+/// Validate a `BENCH_5.json` document: parses, checks the schema tag and
 /// every field the downstream tooling (CI, EXPERIMENTS.md tables) reads —
-/// including the per-row certified gap introduced with `mmb-bench-4`.
+/// including the per-row certified gap introduced with `mmb-bench-4` and
+/// the corpus gap table introduced with `mmb-bench-5` (which must carry
+/// at least one entry proven optimal past the `n = 16` oracle cap).
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing \"schema\"")?;
-    if schema != &Json::Str("mmb-bench-4".into()) {
+    if schema != &Json::Str("mmb-bench-5".into()) {
         return Err(format!("unexpected schema tag: {schema:?}"));
     }
     for key in ["mode", "host", "batch_instances", "colorings_bit_identical"] {
@@ -605,10 +718,98 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 .ok_or_else(|| format!("batch[{i}].{key} must be a finite number"))?;
         }
     }
+    let gaps = parse_gap_rows(&doc)?;
+    if !gaps.iter().any(|r| r.proven && r.n > 16) {
+        return Err(
+            "corpus_gaps must contain at least one entry proven optimal past n = 16".into(),
+        );
+    }
     if doc.get("colorings_bit_identical") != Some(&Json::Bool(true)) {
         return Err("\"colorings_bit_identical\" must be true".into());
     }
     Ok(())
+}
+
+/// Parse and sanity-check the `"corpus_gaps"` table of a parsed BENCH
+/// document.
+fn parse_gap_rows(doc: &Json) -> Result<Vec<GapRow>, String> {
+    let rows = doc
+        .get("corpus_gaps")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array \"corpus_gaps\"")?;
+    if rows.is_empty() {
+        return Err("\"corpus_gaps\" must not be empty".into());
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let name = match row.get("name") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("corpus_gaps[{i}].name must be a non-empty string")),
+        };
+        let num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("corpus_gaps[{i}].{key} must be a finite number"))
+        };
+        let (n, k) = (num("n")? as usize, num("k")? as usize);
+        let (lower, upper, ratio) = (num("lower")?, num("upper")?, num("ratio")?);
+        if lower <= 0.0 {
+            return Err(format!("corpus_gaps[{i}].lower must be positive, got {lower}"));
+        }
+        let certifier = match row.get("certifier") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err(format!("corpus_gaps[{i}].certifier must be a string")),
+        };
+        let proven = match row.get("proven") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("corpus_gaps[{i}].proven must be a bool")),
+        };
+        out.push(GapRow { name, n, k, lower, upper, ratio, certifier, proven });
+    }
+    Ok(out)
+}
+
+/// The gap regression gate (`reproduce gap-gate <path>`): recompute the
+/// corpus gap table and compare it against the committed baseline. Fails
+/// if any baseline entry is missing from the fresh run, or its certified
+/// ratio regressed (got worse than the committed one, beyond fp noise).
+/// Fresh entries *absent* from the baseline are allowed — adding corpus
+/// entries must not require regenerating the committed file in the same
+/// change. Returns a human-readable summary on success.
+pub fn gap_regression_check(baseline_text: &str) -> Result<String, String> {
+    let doc = parse_json(baseline_text)?;
+    let baseline = parse_gap_rows(&doc)?;
+    let fresh = compute_corpus_gaps();
+    let mut checked = 0usize;
+    let mut improved = 0usize;
+    for base in &baseline {
+        let Some(now) = fresh.iter().find(|r| r.name == base.name && r.k == base.k) else {
+            return Err(format!(
+                "baseline entry `{}` (k = {}) missing from the fresh corpus gap table",
+                base.name, base.k
+            ));
+        };
+        checked += 1;
+        if now.ratio > base.ratio * (1.0 + 1e-6) + 1e-9 {
+            return Err(format!(
+                "certified gap regressed on `{}`: ratio {} (was {})",
+                base.name, now.ratio, base.ratio
+            ));
+        }
+        if now.ratio < base.ratio * (1.0 - 1e-6) {
+            improved += 1;
+        }
+        if base.proven && !now.proven {
+            return Err(format!(
+                "`{}` was proven optimal in the baseline but is no longer",
+                base.name
+            ));
+        }
+    }
+    Ok(format!(
+        "gap gate: {checked} baseline entr{} checked, none regressed, {improved} improved",
+        if checked == 1 { "y" } else { "ies" }
+    ))
 }
 
 #[cfg(test)]
@@ -680,6 +881,45 @@ mod tests {
         assert!(json.contains("null"), "NaN must serialize as null");
         let err = validate_bench_json(&json).unwrap_err();
         assert!(err.contains("alloc_ms"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn corpus_gap_table_is_deterministic_and_self_gating() {
+        let rows = compute_corpus_gaps();
+        assert!(!rows.is_empty());
+        // Names are unique (the regression gate matches by name).
+        let mut names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rows.len(), "duplicate gap-table names");
+        // Every row certifies a positive bound with a sane ratio, and at
+        // least one past-the-cap entry is proven optimal (the acceptance
+        // criterion the validator enforces on committed baselines).
+        for r in &rows {
+            assert!(r.lower > 0.0, "{}: trivial bound", r.name);
+            assert!(r.ratio.is_finite() && r.ratio >= 1.0 - 1e-9, "{}: ratio {}", r.name, r.ratio);
+            if r.proven {
+                assert!(matches!(r.certifier.as_str(), "oracle" | "bnb"), "{}", r.name);
+            }
+        }
+        assert!(
+            rows.iter().any(|r| r.proven && r.n > 16),
+            "no past-the-cap entry proven optimal"
+        );
+        // A self-emitted report passes its own regression gate (ratios
+        // are bit-reproducible), and the gate catches a doctored
+        // regression.
+        let report = run(true);
+        let json = report.to_json();
+        let msg = gap_regression_check(&json).expect("self-gate must pass");
+        assert!(msg.contains("none regressed"), "{msg}");
+        let doctored = json.replace(
+            &format!("\"ratio\": {}", super::fnum_exact(report.corpus_gaps[0].ratio)),
+            &format!("\"ratio\": {}", super::fnum_exact(report.corpus_gaps[0].ratio / 16.0)),
+        );
+        assert_ne!(doctored, json, "test setup failed to doctor the baseline");
+        let err = gap_regression_check(&doctored).unwrap_err();
+        assert!(err.contains("regressed"), "unexpected error: {err}");
     }
 
     #[test]

@@ -69,15 +69,23 @@
 //! and benchmarks can report measured/bound ratios (experiments E1–E12 in
 //! `DESIGN.md`). In the other direction, [`lower_bounds`] certifies
 //! optimality gaps at any size: a stack of sound certifiers (averaging,
-//! knapsack packing, min-cut, structure-aware isoperimetry, the exact
-//! [`oracle`] below its size cap) whose best bound
+//! knapsack packing — fractional and whole-edge, min-cut and
+//! forced-pair cuts, structure-aware isoperimetry, the exact [`oracle`]
+//! below its size cap) whose best bound
 //! [`api::Solver::solve_certified`] threads into the report as a
-//! [`lower_bounds::CertifiedGap`].
+//! [`lower_bounds::CertifiedGap`]. Bridging the two sides, the anytime
+//! branch-and-bound engine of [`bnb`] searches the restricted-growth
+//! coloring space under any node/time budget, seeds from the pipeline,
+//! prunes with the certifier stack, and — via
+//! [`api::Solver::solve_anytime`] — returns the best incumbent together
+//! with a certified gap that shrinks to ratio 1.0 whenever the search
+//! exhausts (which it does well past the oracle's `n = 16` cap).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod bnb;
 pub mod bounds;
 pub mod conquer;
 pub mod lower_bounds;
@@ -95,8 +103,10 @@ pub use api::{
     auto_splitter, solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
     SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
+pub use bnb::{BnbBound, BnbConfig, BnbPartitioner, BnbSolution};
 pub use lower_bounds::{
-    best_lower_bound, certify, Certificate, CertifiedGap, LowerBound, LowerBoundReport,
+    best_lower_bound, certify, static_lower_bound, Certificate, CertifiedGap, LowerBound,
+    LowerBoundReport,
 };
 pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
 pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy};
@@ -107,6 +117,7 @@ pub mod prelude {
         solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
         SplitterChoice,
     };
+    pub use crate::bnb::{BnbConfig, BnbPartitioner};
     pub use crate::bounds;
     pub use crate::lower_bounds::{best_lower_bound, certify, CertifiedGap, LowerBound};
     pub use crate::oracle::{exact_min_max_boundary, ExactOracle};

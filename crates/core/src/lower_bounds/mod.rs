@@ -31,11 +31,19 @@
 //!   bound (arXiv:1410.0462): per vertex, a fractional knapsack over the
 //!   sorted incident costs upper-bounds what a weight-capped class can
 //!   retain; the rest is certified cut.
+//! * [`packing::EdgePackingBound`] — the Träff–Wimmer refinement that
+//!   packs *whole edges*: the per-vertex knapsack is solved as an exact
+//!   0/1 problem (budgeted branch-and-bound), so its masses dominate the
+//!   fractional ones by construction.
 //! * [`packing::MinCutBound`] — the weight-based cut bound (cf. the
 //!   Gutin–Yeo survey, arXiv:2104.05536): with ≥ 2 occupied classes on a
 //!   connected host every class is a proper non-empty subset, so
 //!   `OPT ≥ λ(G, c)`, the global min cut (Stoer–Wagner), with the cut
 //!   side kept as the replayable witness.
+//! * [`cutpair::CutPairBound`] — the Gutin–Yeo-style forced-separation
+//!   bound: two vertices jointly heavier than the class envelope can
+//!   never share a class, so `OPT ≥ λ(u, v)` (max-flow, with the cut
+//!   side as witness).
 //! * [`structure::StructureBound`] — structure-aware bounds routed
 //!   through `mmb_graph::recognize`: Harper's exact edge-isoperimetric
 //!   inequality on hypercubes, axis-projection bounds on full lattices
@@ -43,14 +51,21 @@
 //!   cheapest-edge bound on connected trees/paths.
 //! * [`OracleBound`] — the exact oracle of PR 4, demoted to *just another
 //!   certifier*: for `n ≤ 16` it certifies `OPT` itself.
+//! * [`crate::bnb::BnbBound`] — the anytime branch-and-bound engine as a
+//!   certifier: whenever its budgeted search exhausts, the incumbent *is*
+//!   `OPT` and is certified as such (this is what lifts exact lower
+//!   bounds past the oracle's `n = 16` cap).
 //!
-//! [`best_lower_bound`] runs the stack and keeps every certificate;
+//! The first seven are the [`static_certifiers`] — polynomial-time, no
+//! exhaustive search — which double as the B&B engine's root bound (the
+//! full stack there would recurse). [`best_lower_bound`] runs the whole
+//! [`standard_certifiers`] stack and keeps every certificate;
 //! [`certify`] pairs the best one with an achieved cost into a
 //! [`CertifiedGap`] `{ lower, upper, ratio }`, which
 //! [`Solver::solve_certified`](crate::api::Solver::solve_certified)
 //! threads into [`Report`](crate::api::Report), the corpus table
 //! (`reproduce corpus` gains a gap column and gate) and the perf
-//! baselines (`BENCH_4.json`).
+//! baselines (`BENCH_5.json`).
 //!
 //! ## Soundness discipline
 //!
@@ -64,6 +79,7 @@
 //! certificate can only be weaker than the exact argument, never
 //! stronger.
 
+pub mod cutpair;
 pub mod packing;
 pub mod structure;
 pub mod volume;
@@ -160,6 +176,39 @@ pub enum Derivation {
         /// Search nodes visited (complexity probe, not re-checked).
         nodes: u64,
     },
+    /// Whole-edge packing bound (see [`packing::EdgePackingBound`]).
+    EdgePacking {
+        /// The summed per-vertex certified cut mass with integral
+        /// knapsacks, `Σ_v max(0, τ(v) − knap01_v)`.
+        per_vertex_total: f64,
+        /// Per-vertex node budget of the 0/1 knapsack searches; replay
+        /// re-runs with the same budget.
+        vertex_budget: u64,
+    },
+    /// Forced-separation cut bound (see [`cutpair::CutPairBound`]).
+    CutPair {
+        /// One vertex of the forced pair (`w(u) + w(v) > hi`).
+        u: VertexId,
+        /// The other vertex of the forced pair.
+        v: VertexId,
+        /// The certified (slack-discounted) `u`–`v` min-cut value.
+        cut_cost: f64,
+        /// The source side of a minimum `u`–`v` cut (contains `u`, not
+        /// `v`) — the witness replay re-prices.
+        side: Vec<VertexId>,
+    },
+    /// The exact optimum proven by the anytime branch-and-bound engine
+    /// running to exhaustion (see [`crate::bnb::BnbBound`]).
+    BnbOptimal {
+        /// `OPT` as proven by the exhausted search.
+        optimum: f64,
+        /// Search nodes visited (complexity probe, not re-checked).
+        nodes: u64,
+        /// Node budget the certifier ran under; replay re-runs with the
+        /// same budget, so a certificate from a generously configured
+        /// certifier stays replayable.
+        node_budget: u64,
+    },
 }
 
 impl Derivation {
@@ -202,6 +251,15 @@ impl Derivation {
                 }
                 Ok(s.max_boundary)
             }
+            Derivation::EdgePacking { per_vertex_total, vertex_budget } => {
+                packing::replay_edge_packing(inst, k, *per_vertex_total, *vertex_budget)
+            }
+            Derivation::CutPair { u, v, cut_cost, side } => {
+                cutpair::replay_cut_pair(inst, k, *u, *v, *cut_cost, side)
+            }
+            Derivation::BnbOptimal { optimum, node_budget, .. } => {
+                crate::bnb::replay_bnb(inst, k, *optimum, *node_budget)
+            }
         }
     }
 }
@@ -243,18 +301,35 @@ impl LowerBound for OracleBound {
     }
 }
 
-/// The standard certifier stack, in evaluation order. One constructor so
-/// the solver, the corpus table and the differential suite cannot drift
-/// apart when a certifier is added.
-pub fn standard_certifiers() -> Vec<Box<dyn LowerBound>> {
+/// The polynomial-time subset of the certifier stack — every certifier
+/// except the exhaustive-search ones ([`OracleBound`],
+/// [`crate::bnb::BnbBound`]).
+///
+/// This is the stack the branch-and-bound engine prices its *root* gap
+/// with: running the full [`standard_certifiers`] stack inside the
+/// engine would recurse (the engine is itself a certifier there).
+pub fn static_certifiers() -> Vec<Box<dyn LowerBound>> {
     vec![
         Box::new(volume::VolumeBound),
         Box::new(volume::DisconnectedBound::default()),
         Box::new(packing::PackingBound),
+        Box::new(packing::EdgePackingBound::default()),
         Box::new(packing::MinCutBound::default()),
+        Box::new(cutpair::CutPairBound::default()),
         Box::new(structure::StructureBound),
-        Box::new(OracleBound),
     ]
+}
+
+/// The standard certifier stack, in evaluation order. One constructor so
+/// the solver, the corpus table and the differential suite cannot drift
+/// apart when a certifier is added. The exhaustive certifiers come last
+/// (and the oracle before the B&B engine, so ties on `n ≤ 16` keep the
+/// established winner name).
+pub fn standard_certifiers() -> Vec<Box<dyn LowerBound>> {
+    let mut stack = static_certifiers();
+    stack.push(Box::new(OracleBound));
+    stack.push(Box::new(crate::bnb::BnbBound::default()));
+    stack
 }
 
 /// Every certificate the stack produced for one `(inst, k)`, with the
@@ -288,10 +363,10 @@ impl LowerBoundReport {
     }
 }
 
-/// Run the [`standard_certifiers`] stack on `(inst, k)`.
-pub fn best_lower_bound(inst: &Instance, k: usize) -> LowerBoundReport {
+/// Run a certifier stack on `(inst, k)`, clamping defensively.
+fn run_stack(stack: Vec<Box<dyn LowerBound>>, inst: &Instance, k: usize) -> LowerBoundReport {
     let mut report = LowerBoundReport::default();
-    for certifier in standard_certifiers() {
+    for certifier in stack {
         if let Some(mut cert) = certifier.certify(inst, k) {
             // Defensive clamp: a lower bound is never negative (and a
             // NaN from a buggy certifier must not poison the max).
@@ -302,6 +377,18 @@ pub fn best_lower_bound(inst: &Instance, k: usize) -> LowerBoundReport {
         }
     }
     report
+}
+
+/// Run the [`standard_certifiers`] stack on `(inst, k)`.
+pub fn best_lower_bound(inst: &Instance, k: usize) -> LowerBoundReport {
+    run_stack(standard_certifiers(), inst, k)
+}
+
+/// Run the [`static_certifiers`] stack on `(inst, k)` — the
+/// exhaustive-search-free bound the B&B engine roots its certified gap
+/// in.
+pub fn static_lower_bound(inst: &Instance, k: usize) -> LowerBoundReport {
+    run_stack(static_certifiers(), inst, k)
 }
 
 /// A certified optimality gap: the best lower bound, an achieved upper

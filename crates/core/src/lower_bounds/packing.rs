@@ -25,6 +25,19 @@
 //! kicks in exactly when weights crowd the window — the regime the
 //! averaging bound cannot see.
 //!
+//! **Edge-packing refinement** ([`EdgePackingBound`]). A class retains
+//! *whole edges*, never fractions of them, so the true per-vertex cap is
+//! the 0/1 knapsack over the same items — always ≤ the fractional
+//! optimum. [`EdgePackingBound`] solves that integral knapsack exactly
+//! (budgeted branch-and-bound over the ratio-sorted items, with the
+//! fractional relaxation as the pruning bound) and retains
+//! `min(frac, int)` per vertex, so its masses dominate the fractional
+//! ones *by construction* — pointwise and, summed in the same order,
+//! in exact floating point. When a per-vertex node budget runs out the
+//! vertex falls back to the fractional optimum: a truncated
+//! *maximization* incumbent would under-state what a class can retain
+//! and over-state the certified cut, which is the unsound direction.
+//!
 //! **Min-cut bound** (the classical weight-based cut bound; cf. the
 //! Gutin–Yeo survey, arXiv:2104.05536). On a connected host with at
 //! least two occupied classes, every occupied class is a proper
@@ -43,13 +56,77 @@ use crate::lower_bounds::{Certificate, Derivation, LowerBound, Window};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PackingBound;
 
-/// `Σ_v max(0, τ(v) − knap_v)` — the certified doubled cut mass.
-fn packing_total(inst: &Instance, k: usize) -> f64 {
+/// Default per-vertex node budget of the integral knapsack searches
+/// (edge-packing certifier and the B&B engine's suffix bound).
+pub(crate) const PACK_VERTEX_BUDGET: u64 = 50_000;
+
+/// Exact 0/1 knapsack over ratio-sorted `(cost, weight)` items: the
+/// maximum cost retainable within `cap`. Returns `None` when the node
+/// budget runs out before the search is exhausted.
+fn integral_retained(items: &[(f64, f64)], cap: f64, budget: &mut u64) -> Option<f64> {
+    fn dfs(
+        items: &[(f64, f64)],
+        idx: usize,
+        room: f64,
+        value: f64,
+        best: &mut f64,
+        budget: &mut u64,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        // Fractional completion bound: items are ratio-sorted, so the
+        // greedy prefix over the remaining items relaxes the 0/1 optimum.
+        let mut bound = value;
+        let mut r = room;
+        for &(c, w) in &items[idx..] {
+            if w == 0.0 || w <= r {
+                bound += c;
+                r -= w;
+            } else {
+                if r > 0.0 {
+                    bound += c * (r / w);
+                }
+                break;
+            }
+        }
+        if bound <= *best {
+            return true;
+        }
+        if idx == items.len() {
+            *best = value; // bound == value > best at a leaf
+            return true;
+        }
+        let (c, w) = items[idx];
+        if w <= room && !dfs(items, idx + 1, room - w, value + c, best, budget) {
+            return false;
+        }
+        dfs(items, idx + 1, room, value, best, budget)
+    }
+    let mut best = 0.0;
+    dfs(items, 0, cap, 0.0, &mut best, budget).then_some(best)
+}
+
+/// Per-vertex certified doubled-cut masses `max(0, τ(v) − knap_v − slack)`,
+/// indexed by vertex id.
+///
+/// `knap_v` is the fractional knapsack optimum; with
+/// `integral_budget = Some(b)` each vertex additionally solves the exact
+/// 0/1 knapsack (≤ `b` search nodes) and retains `min(frac, int)` — so
+/// the integral masses dominate the fractional ones pointwise by
+/// construction, with the identical slack term (see the
+/// [module docs](self) for the soundness of the exhaustion fallback).
+pub(crate) fn vertex_masses(
+    inst: &Instance,
+    k: usize,
+    integral_budget: Option<u64>,
+) -> Vec<f64> {
     let win = Window::new(inst, k);
     let g = inst.graph();
     let (costs, weights) = (inst.costs(), inst.weights());
     let mut incident: Vec<(f64, f64)> = Vec::new();
-    let mut total = 0.0;
+    let mut masses = vec![0.0; inst.num_vertices()];
     for v in g.vertices() {
         let cap = win.hi - weights[v as usize];
         if cap < 0.0 {
@@ -85,12 +162,30 @@ fn packing_total(inst: &Instance, k: usize) -> f64 {
                 break;
             }
         }
+        if let Some(per_vertex) = integral_budget {
+            let mut budget = per_vertex;
+            if let Some(int) = integral_retained(&incident, cap, &mut budget) {
+                retained = int.min(retained);
+            }
+        }
         // Relative slack in the sound direction: the knapsack optimum is
         // only trusted up to fp rounding.
         let slack = 1e-9 * (1.0 + tau);
-        total += (tau - retained - slack).max(0.0);
+        masses[v as usize] = (tau - retained - slack).max(0.0);
     }
-    total
+    masses
+}
+
+/// `Σ_v max(0, τ(v) − knap_v)` — the certified doubled cut mass.
+fn packing_total(inst: &Instance, k: usize) -> f64 {
+    vertex_masses(inst, k, None).iter().sum()
+}
+
+/// The integral-packing total with a per-vertex budget (the edge-packing
+/// certifier's doubled cut mass; same summation order as
+/// [`packing_total`], so dominance survives fp addition).
+fn edge_packing_total(inst: &Instance, k: usize, vertex_budget: u64) -> f64 {
+    vertex_masses(inst, k, Some(vertex_budget)).iter().sum()
 }
 
 impl LowerBound for PackingBound {
@@ -122,6 +217,62 @@ pub(crate) fn replay_packing(
         return Err("packing bound does not apply (k = 0 or edgeless host)".into());
     }
     let fresh = packing_total(inst, k);
+    if (fresh - per_vertex_total).abs() > 1e-9 * (1.0 + per_vertex_total.abs()) {
+        return Err(format!("per-vertex total drifted: {per_vertex_total} vs {fresh}"));
+    }
+    Ok(fresh / k as f64)
+}
+
+/// The whole-edge (0/1 knapsack) refinement of [`PackingBound`] — see
+/// the [module docs](self). Dominates the fractional bound by
+/// construction.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgePackingBound {
+    /// Node budget of each per-vertex integral knapsack search; on
+    /// exhaustion that vertex falls back to its fractional optimum
+    /// (sound, merely weaker).
+    pub vertex_budget: u64,
+}
+
+impl Default for EdgePackingBound {
+    fn default() -> Self {
+        EdgePackingBound { vertex_budget: PACK_VERTEX_BUDGET }
+    }
+}
+
+impl LowerBound for EdgePackingBound {
+    fn name(&self) -> &'static str {
+        "edge-packing"
+    }
+
+    fn certify(&self, inst: &Instance, k: usize) -> Option<Certificate> {
+        if k == 0 || inst.num_edges() == 0 {
+            return None;
+        }
+        let total = edge_packing_total(inst, k, self.vertex_budget);
+        Some(Certificate {
+            certifier: self.name(),
+            value: total / k as f64,
+            derivation: Derivation::EdgePacking {
+                per_vertex_total: total,
+                vertex_budget: self.vertex_budget,
+            },
+        })
+    }
+}
+
+/// Replay a [`Derivation::EdgePacking`]: recompute the per-vertex
+/// integral knapsacks with the stored budget and cross-check the sum.
+pub(crate) fn replay_edge_packing(
+    inst: &Instance,
+    k: usize,
+    per_vertex_total: f64,
+    vertex_budget: u64,
+) -> Result<f64, String> {
+    if k == 0 || inst.num_edges() == 0 {
+        return Err("edge-packing bound does not apply (k = 0 or edgeless host)".into());
+    }
+    let fresh = edge_packing_total(inst, k, vertex_budget);
     if (fresh - per_vertex_total).abs() > 1e-9 * (1.0 + per_vertex_total.abs()) {
         return Err(format!("per-vertex total drifted: {per_vertex_total} vs {fresh}"));
     }
@@ -232,8 +383,9 @@ impl LowerBound for MinCutBound {
     }
 }
 
-/// Price the boundary of `side` directly from the edge list.
-fn price_side(inst: &Instance, side: &[VertexId]) -> f64 {
+/// Price the boundary of `side` directly from the edge list (shared with
+/// the cut-pair certifier).
+pub(crate) fn price_side(inst: &Instance, side: &[VertexId]) -> f64 {
     let mut inside = vec![false; inst.num_vertices()];
     for &v in side {
         inside[v as usize] = true;
@@ -359,6 +511,55 @@ mod tests {
         // Unit path at k = 2: every neighborhood fits under the envelope.
         let cert = PackingBound.certify(&unit(path(8)), 2).unwrap();
         assert_eq!(cert.value, 0.0);
+    }
+
+    #[test]
+    fn edge_packing_refines_the_fractional_bound_on_k4() {
+        // K₄ unit at k = 4: cap = 0.75 per vertex, so a class retains
+        // *no* whole unit-weight edge — the integral knapsack certifies
+        // the full cost degree 3 per vertex (the fractional bound only
+        // 2.25), i.e. the exact optimum 3 (each singleton class has
+        // boundary 3).
+        let inst = unit(complete(4));
+        let frac = PackingBound.certify(&inst, 4).unwrap();
+        let edge = EdgePackingBound::default().certify(&inst, 4).unwrap();
+        assert!(edge.value > frac.value, "{} vs {}", edge.value, frac.value);
+        assert!((edge.value - 3.0).abs() < 1e-6, "value = {}", edge.value);
+        let opt = crate::oracle::exact_min_max_boundary(&inst, 4).unwrap();
+        assert!(edge.value <= opt.max_boundary + 1e-9);
+        let replayed = edge.derivation.replay(&inst, 4).unwrap();
+        assert!((replayed - edge.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_packing_dominates_pointwise_and_in_total() {
+        // The per-vertex masses must dominate the fractional ones *by
+        // construction* (min(frac, int) retained, identical slack), on a
+        // weighted instance with mixed degrees.
+        let g = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 2), (3, 4), (4, 5), (2, 5)]);
+        let costs = vec![2.0, 1.0, 3.0, 0.5, 1.5, 2.5, 1.0];
+        let weights = vec![3.0, 1.0, 2.0, 1.0, 2.0, 3.0];
+        let inst = Instance::new(g, costs, weights).unwrap();
+        for k in [2usize, 3, 4] {
+            let frac = vertex_masses(&inst, k, None);
+            let int = vertex_masses(&inst, k, Some(PACK_VERTEX_BUDGET));
+            for (v, (f, i)) in frac.iter().zip(&int).enumerate() {
+                assert!(i >= f, "vertex {v} at k={k}: {i} < {f}");
+            }
+            let (tf, ti): (f64, f64) = (frac.iter().sum(), int.iter().sum());
+            assert!(ti >= tf, "k={k}: total {ti} < {tf}");
+        }
+    }
+
+    #[test]
+    fn integral_knapsack_budget_exhaustion_falls_back_fractionally() {
+        // A one-node budget cannot finish any search: every vertex falls
+        // back to its fractional optimum and the two bounds coincide
+        // bit-for-bit.
+        let inst = unit(complete(4));
+        let frac = PackingBound.certify(&inst, 4).unwrap();
+        let starved = EdgePackingBound { vertex_budget: 1 }.certify(&inst, 4).unwrap();
+        assert_eq!(starved.value.to_bits(), frac.value.to_bits());
     }
 
     #[test]

@@ -9,38 +9,30 @@
 //!
 //! ## Search
 //!
-//! Colorings are enumerated as *restricted growth strings* over a fixed
-//! vertex order: a vertex may reuse any color already in use or open one
-//! new color. Since both the strict-balance constraint and the objective
-//! are invariant under permuting the color classes, every equivalence
-//! class of colorings is visited exactly once — cutting the raw `k^n`
-//! space down by up to `k!` (Stirling-number counting). Three prunes run
-//! at every node:
+//! Since PR 6 the oracle is a thin façade over the branch-and-bound
+//! engine of [`crate::bnb`] run with [`BnbConfig::exhaustive`]: the same
+//! restricted-growth-string enumeration (every color-permutation class
+//! visited once), the same seeded incumbent (the Theorem 4 pipeline, so
+//! oracle ≤ pipeline by construction), but with the engine's certified
+//! incremental node bound — `max(‖∂(partial)‖_∞, (cut₂ + packₛ)/k)` —
+//! instead of the bare monotone-boundary cutoff this module used to
+//! carry, plus a *root* check against the polynomial certifier stack
+//! that can prove the seed optimal without visiting a single node.
+//! Every extra prune is certified sound, so the returned optimum is
+//! unchanged — bit for bit — while `nodes` only shrinks.
 //!
-//! * **upper-bound cutoff** — boundary costs only grow as vertices are
-//!   added, so a partial coloring whose current `‖∂‖_∞` already matches
-//!   the incumbent is abandoned;
-//! * **balance cap** — a class that exceeds `w̄ + (1 − 1/k)·‖w‖_∞` can
-//!   never return below it (weights are non-negative), so the color is
-//!   skipped;
-//! * **deficit bound** — if the total weight still unassigned cannot fill
-//!   every class up to `w̄ − (1 − 1/k)·‖w‖_∞`, no feasible completion
-//!   exists.
-//!
-//! The search is seeded with the Theorem 4 pipeline's coloring as the
-//! incumbent, so the oracle's result is ≤ the pipeline's cost *by
-//! construction* and the cutoff starts tight. Worst-case work is
-//! `O(S(n, ≤k) · Δ)` where `S(n, ≤k) ≤ k^n/k!` counts restricted growth
-//! strings — exact and fast for `n ≤ `[`ORACLE_MAX_VERTICES`], and
-//! refused (typed error, no panic) above it.
+//! What remains here is the *contract*: a hard size cap. The façade
+//! refuses `n > `[`ORACLE_MAX_VERTICES`] with a typed error so that
+//! "oracle says X" always means "exhaustive search completed"; callers
+//! who want best-effort beyond the cap use [`crate::bnb::solve`]
+//! directly (anytime, with a certified gap instead of a refusal).
 
-use mmb_graph::coloring::UNCOLORED;
-use mmb_graph::measure::norm_inf;
-use mmb_graph::{Coloring, VertexId};
+use mmb_graph::Coloring;
 
 use crate::api::error::SolveError;
 use crate::api::instance::Instance;
-use crate::api::partitioner::{Partitioner, Theorem4Pipeline};
+use crate::api::partitioner::Partitioner;
+use crate::bnb::BnbConfig;
 
 /// Hard cap on the oracle's vertex count: beyond this the exhaustive
 /// search is refused with [`SolveError::OracleTooLarge`].
@@ -60,90 +52,12 @@ pub struct OracleSolution {
     pub nodes: u64,
 }
 
-struct Search<'a> {
-    inst: &'a Instance,
-    k: usize,
-    /// Assignment order (descending degree, ties by id).
-    order: Vec<VertexId>,
-    /// `suffix_w[i]` = total weight of `order[i..]` (deficit prune).
-    suffix_w: Vec<f64>,
-    /// Strict-balance window `[avg − slack − tol, avg + slack + tol]`.
-    lo: f64,
-    hi: f64,
-    color: Vec<u32>,
-    class_w: Vec<f64>,
-    class_b: Vec<f64>,
-    best_cost: f64,
-    best: Option<Vec<u32>>,
-    nodes: u64,
-}
-
-impl Search<'_> {
-    /// DFS over `order[i..]`; `used` = number of colors in use so far.
-    fn dfs(&mut self, i: usize, used: usize) {
-        self.nodes += 1;
-        if i == self.order.len() {
-            // Leaf: upper bounds were enforced on the way down; check the
-            // lower side of eq. (1) (classes must not be too light).
-            if self.class_w.iter().all(|&w| w >= self.lo) {
-                let cost = norm_inf(&self.class_b);
-                if cost < self.best_cost {
-                    self.best_cost = cost;
-                    self.best = Some(self.color.clone());
-                }
-            }
-            return;
-        }
-        // Deficit prune: the unassigned weight must be able to fill every
-        // class up to the lower balance bound.
-        let deficit: f64 =
-            self.class_w.iter().map(|&w| (self.lo - w).max(0.0)).sum();
-        if deficit > self.suffix_w[i] {
-            return;
-        }
-        let v = self.order[i];
-        let wv = self.inst.weights()[v as usize];
-        // Restricted growth: reuse colors `0..used`, or open color `used`.
-        for c in 0..self.k.min(used + 1) {
-            if self.class_w[c] + wv > self.hi {
-                continue;
-            }
-            // Incremental boundary update against already-placed neighbors.
-            self.color[v as usize] = c as u32;
-            self.class_w[c] += wv;
-            for &(nb, e) in self.inst.graph().neighbors(v) {
-                let cn = self.color[nb as usize];
-                if cn != UNCOLORED && cn != c as u32 {
-                    let cost = self.inst.costs()[e as usize];
-                    self.class_b[c] += cost;
-                    self.class_b[cn as usize] += cost;
-                }
-            }
-            // Upper-bound cutoff: boundary costs are monotone in the
-            // partial assignment, so ≥ incumbent can never improve.
-            if norm_inf(&self.class_b) < self.best_cost {
-                self.dfs(i + 1, used.max(c + 1));
-            }
-            // Undo (the reverse of the forward loop, same guard).
-            for &(nb, e) in self.inst.graph().neighbors(v) {
-                let cn = self.color[nb as usize];
-                if cn != UNCOLORED && cn != c as u32 {
-                    let cost = self.inst.costs()[e as usize];
-                    self.class_b[c] -= cost;
-                    self.class_b[cn as usize] -= cost;
-                }
-            }
-            self.class_w[c] -= wv;
-            self.color[v as usize] = UNCOLORED;
-        }
-    }
-}
-
 /// Exact minimum of `‖∂χ⁻¹‖_∞` over all strictly balanced `k`-colorings
 /// of `inst`, with the witnessing coloring.
 ///
 /// Refuses instances with more than [`ORACLE_MAX_VERTICES`] vertices
-/// ([`SolveError::OracleTooLarge`]) and `k = 0`
+/// ([`SolveError::OracleTooLarge`] — the error names the
+/// [`crate::bnb`] fallback that has no such cap) and `k = 0`
 /// ([`SolveError::ZeroColors`]). Deterministic: same instance, same `k`,
 /// same coloring out.
 pub fn exact_min_max_boundary(
@@ -157,51 +71,13 @@ pub fn exact_min_max_boundary(
     if n > ORACLE_MAX_VERTICES {
         return Err(SolveError::OracleTooLarge { n, limit: ORACLE_MAX_VERTICES });
     }
-    let weights = inst.weights();
-    let avg = inst.total_weight() / k as f64;
-    let slack = crate::bounds::strict_slack(k, inst.max_weight());
-    // Same scale-invariant tolerance as `Coloring::is_strictly_balanced`.
-    let tol = 1e-9 * inst.max_weight().max(1e-300);
-    let mut order: Vec<VertexId> = (0..n as u32).collect();
-    order.sort_by_key(|&v| (std::cmp::Reverse(inst.graph().degree(v)), v));
-    let mut suffix_w = vec![0.0; n + 1];
-    for i in (0..n).rev() {
-        suffix_w[i] = suffix_w[i + 1] + weights[order[i] as usize];
-    }
-    let mut search = Search {
-        inst,
-        k,
-        order,
-        suffix_w,
-        lo: avg - slack - tol,
-        hi: avg + slack + tol,
-        color: vec![UNCOLORED; n],
-        class_w: vec![0.0; k],
-        class_b: vec![0.0; k],
-        best_cost: f64::INFINITY,
-        best: None,
-        nodes: 0,
-    };
-    // Incumbent: the pipeline's coloring (strictly balanced by
-    // construction) seeds the cutoff, and guarantees
-    // oracle ≤ pipeline even before the search starts.
-    if let Ok(chi) = Theorem4Pipeline::default().partition(inst, k) {
-        let defect = chi.strict_balance_defect(weights);
-        if defect <= tol {
-            search.best_cost = chi.max_boundary_cost(inst.graph(), inst.costs());
-            search.best = Some((0..n as u32).map(|v| chi.raw(v)).collect());
-        }
-    }
-    search.dfs(0, 0);
-    let nodes = search.nodes;
-    let best = search.best.expect(
-        "a strictly balanced coloring always exists (Proposition 12)",
-    );
-    let coloring = Coloring::from_vec(k, best);
-    // Report the cost recomputed from scratch (the incremental search
-    // values carry negligible but nonzero fp drift).
-    let max_boundary = coloring.max_boundary_cost(inst.graph(), inst.costs());
-    Ok(OracleSolution { coloring, max_boundary, nodes })
+    let sol = crate::bnb::solve(inst, k, &BnbConfig::exhaustive())?;
+    debug_assert!(sol.proven_optimal, "exhaustive search cannot truncate");
+    Ok(OracleSolution {
+        coloring: sol.coloring,
+        max_boundary: sol.max_boundary,
+        nodes: sol.nodes,
+    })
 }
 
 /// The exact oracle as a [`Partitioner`], so it drops into the
@@ -223,6 +99,7 @@ impl Partitioner for ExactOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::partitioner::Theorem4Pipeline;
     use mmb_graph::gen::lattice::hypercube;
     use mmb_graph::gen::misc::{cycle, path};
     use mmb_graph::graph::graph_from_edges;

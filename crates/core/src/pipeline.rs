@@ -42,7 +42,7 @@ pub type DecomposeError = SolveError;
 /// [`Workspace`](mmb_graph::Workspace) (`O(touched)` per buffer instead
 /// of `O(n)`) and the allocation-free inner loops. `Transient` preserves
 /// the **pre-overhaul reference implementations** — fresh buffers and
-/// per-call allocation — so the `BENCH_4.json` perf baselines can report
+/// per-call allocation — so the `BENCH_5.json` perf baselines can report
 /// old-vs-new side by side. Both policies produce **bit-identical
 /// colorings** (property-tested); only cost profiles differ.
 pub type ScratchPolicy = mmb_graph::workspace::ScratchMode;

@@ -82,7 +82,7 @@ pub fn with_scratch_mode<R>(mode: ScratchMode, f: impl FnOnce() -> R) -> R {
 }
 
 /// Allocation / reuse counters of a [`Workspace`] — the "RSS proxy" the
-/// perf baselines record (`BENCH_4.json`).
+/// perf baselines record (`BENCH_5.json`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkspaceStats {
     /// Buffer checkouts ([`Workspace::measure`] calls).

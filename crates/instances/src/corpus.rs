@@ -20,13 +20,17 @@
 //! the dedicated experiments E1/E5, whose ratio columns are *bounded*,
 //! not ≤ 1, because the theorem's constant is not 1.
 //!
-//! Three sizes:
+//! Four sizes:
 //!
 //! * [`Corpus::standard`] — the full registry (hundreds of vertices per
 //!   entry): every family × two weight/cost profiles;
 //! * [`Corpus::quick`] — the same shape at CI-smoke sizes;
 //! * [`Corpus::small`] — `n ≤ 10` entries for the exact-oracle
-//!   differential suite (the oracle is exponential in `n`).
+//!   differential suite (the oracle is exponential in `n`);
+//! * [`Corpus::medium`] — `16 < n ≤ 20` entries *past* the oracle's hard
+//!   cap but within reach of the branch-and-bound engine's default
+//!   certification budget, so the certified-gap table has rows proven
+//!   optimal at sizes the oracle refuses.
 
 use mmb_core::api::Instance;
 use mmb_graph::gen::attachment::preferential_attachment;
@@ -107,6 +111,75 @@ impl Corpus {
             for (wf, cf, phi) in PROFILES {
                 c.push(family, tag, params.clone(), g.clone(), wf, cf, phi, 3, 1.0);
             }
+        }
+        // Forced-pair entry (appended last, so the seeds of the entries
+        // above are unchanged): twin weights make the two endpoints of a
+        // tree jointly heavier than any class envelope, the regime the
+        // cut-type certifiers price.
+        c.push(
+            "tree",
+            "-twin",
+            "n=10 max_deg=3 seed=8".into(),
+            random_tree(10, 3, 8),
+            WeightFamily::Twin,
+            CostFamily::Unit,
+            1.0,
+            3,
+            1.0,
+        );
+        c
+    }
+
+    /// Medium corpus: entries with `16 < n ≤ 20` — beyond the exact
+    /// oracle's hard vertex cap, but exhaustible by the branch-and-bound
+    /// engine under its default certification budget. These are the rows
+    /// that prove the certified-gap table can reach ratio 1.0 past
+    /// `n = 16`.
+    pub fn medium() -> Self {
+        use mmb_graph::gen::misc::{cycle, path};
+        let mut c = Corpus::default();
+        let graphs: Vec<(&'static str, String, Graph, usize, WeightFamily, CostFamily, f64)> = vec![
+            (
+                "grid",
+                "dims=[3,6]".into(),
+                GridGraph::lattice(&[3, 6]).graph,
+                2,
+                WeightFamily::Uniform,
+                CostFamily::Unit,
+                1.0,
+            ),
+            (
+                "tree",
+                "n=18 max_deg=3 seed=11".into(),
+                random_tree(18, 3, 11),
+                2,
+                WeightFamily::Bimodal,
+                CostFamily::LogUniform,
+                4.0,
+            ),
+            (
+                "cycle",
+                "n=18".into(),
+                cycle(18),
+                2,
+                WeightFamily::Uniform,
+                CostFamily::Unit,
+                1.0,
+            ),
+            (
+                "path",
+                "n=17".into(),
+                path(17),
+                3,
+                WeightFamily::Constant,
+                CostFamily::Unit,
+                1.0,
+            ),
+        ];
+        for (family, params, g, k, wf, cf, phi) in graphs {
+            // The "-med" tag keeps these names disjoint from the quick/
+            // standard registries (the BENCH gap table matches by name).
+            c.push(family, "-med", params, g, wf, cf, phi, k, 1.0);
         }
         c
     }
@@ -304,7 +377,7 @@ mod tests {
         // sits close to its connectivity threshold, which is exactly
         // where a generator tweak could silently push an entry back to
         // optimum 0.
-        for corpus in [Corpus::standard(), Corpus::quick(), Corpus::small()] {
+        for corpus in [Corpus::standard(), Corpus::quick(), Corpus::small(), Corpus::medium()] {
             for e in &corpus {
                 let report = mmb_core::lower_bounds::best_lower_bound(&e.instance, e.k);
                 assert!(
@@ -315,6 +388,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn medium_entries_sit_past_the_oracle_cap_and_exhaust_under_bnb() {
+        let c = Corpus::medium();
+        assert!(!c.is_empty());
+        for e in &c {
+            let n = e.instance.num_vertices();
+            assert!(n > 16 && n <= 20, "{}: n = {n} outside (16, 20]", e.name);
+            // The oracle must refuse these…
+            assert!(mmb_core::exact_min_max_boundary(&e.instance, e.k).is_err(), "{}", e.name);
+            // …and the engine must exhaust them under its default
+            // certification budget (proving the optimum).
+            let cert = mmb_core::lower_bounds::LowerBound::certify(
+                &mmb_core::BnbBound::default(),
+                &e.instance,
+                e.k,
+            );
+            assert!(cert.is_some(), "{}: bnb failed to exhaust", e.name);
+        }
+        // Unique names here too.
+        let mut names: Vec<&str> = c.entries().iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn small_corpus_carries_a_forced_pair_entry() {
+        // The twin-weight entry exists precisely so the cut-pair
+        // certifier has something to fire on in the differential suite.
+        let c = Corpus::small();
+        let twin = c
+            .entries()
+            .iter()
+            .find(|e| e.name.contains("twin"))
+            .expect("small corpus should carry the twin entry");
+        let w = twin.instance.weights();
+        let n = twin.instance.num_vertices();
+        assert_eq!(w[0], 2.0 * n as f64);
+        assert_eq!(w[n - 1], 2.0 * n as f64);
     }
 
     #[test]

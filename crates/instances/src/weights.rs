@@ -25,16 +25,22 @@ pub enum WeightFamily {
     Spike,
     /// Half the vertices weigh 1, half weigh 10 (mixture).
     Bimodal,
+    /// Two vertices (the first and last ids) of weight `2n` over a unit
+    /// sea: their joint weight exceeds any class envelope, so every
+    /// strictly balanced coloring must separate them — the forced-pair
+    /// regime the cut-type certifiers price.
+    Twin,
 }
 
 /// All families, for sweeps.
-pub const ALL_FAMILIES: [WeightFamily; 6] = [
+pub const ALL_FAMILIES: [WeightFamily; 7] = [
     WeightFamily::Constant,
     WeightFamily::Uniform,
     WeightFamily::Exponential,
     WeightFamily::PowerLaw,
     WeightFamily::Spike,
     WeightFamily::Bimodal,
+    WeightFamily::Twin,
 ];
 
 impl WeightFamily {
@@ -47,6 +53,7 @@ impl WeightFamily {
             WeightFamily::PowerLaw => "powerlaw",
             WeightFamily::Spike => "spike",
             WeightFamily::Bimodal => "bimodal",
+            WeightFamily::Twin => "twin",
         }
     }
 
@@ -54,7 +61,7 @@ impl WeightFamily {
     pub fn generate(self, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1B54A32D192ED03);
         (0..n)
-            .map(|_| match self {
+            .map(|i| match self {
                 WeightFamily::Constant => 1.0,
                 WeightFamily::Uniform => 1.0 + rng.random::<f64>(),
                 WeightFamily::Exponential => {
@@ -77,6 +84,13 @@ impl WeightFamily {
                         1.0
                     } else {
                         10.0
+                    }
+                }
+                WeightFamily::Twin => {
+                    if i == 0 || i + 1 == n {
+                        2.0 * n as f64
+                    } else {
+                        1.0
                     }
                 }
             })
