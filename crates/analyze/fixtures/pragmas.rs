@@ -1,0 +1,39 @@
+//! Pragma-grammar fixture: audited suppressions that must hold, plus the
+//! two meta-rule triggers (`bad-pragma`, `unused-pragma`). Expected
+//! findings: exactly one bad-pragma and one unused-pragma; the three real
+//! violations below are all suppressed.
+
+use std::collections::HashMap;
+
+// Suppressed hash iteration (leading-comment placement).
+fn reduced(m: &HashMap<u32, f64>) -> f64 {
+    // lint: allow(hash-order-leak) — fold into a sum; addition reordering
+    // is observationally absorbed by the caller's tolerance.
+    m.values().sum()
+}
+
+// Suppressed float-eq (trailing-comment placement) and a multi-rule
+// pragma covering two rules on the next line.
+fn dispatch(p: f64, q: f64) -> f64 {
+    let fast = p == 2.0; // lint: allow(float-eq) — exact dispatch constant
+    // lint: allow(float-eq, nondeterminism) — exact sentinel; timing is
+    // observational only.
+    let slow = q == 4.0 && std::time::Instant::now().elapsed().as_nanos() == 0;
+    if fast || slow {
+        p
+    } else {
+        q
+    }
+}
+
+// bad-pragma: looks like a pragma, parses wrong (missing reason).
+fn missing_reason(v: &[f64]) -> f64 {
+    // lint: allow(panic-in-lib)
+    v.iter().sum()
+}
+
+// unused-pragma: allows a rule that never fires on the covered line.
+fn stale(v: &[f64]) -> f64 {
+    // lint: allow(nan-unsafe-cmp) — comparator was rewritten long ago
+    v.iter().fold(0.0, |a, &b| a + b)
+}

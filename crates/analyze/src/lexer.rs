@@ -1,0 +1,551 @@
+//! A small, self-contained Rust lexer.
+//!
+//! Produces a flat token stream with line information, correct on the
+//! constructs that defeat naive `grep`-style scanning:
+//!
+//! * string literals (with escapes), byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, any hash count) — `partial_cmp` inside a string
+//!   is *text*, not code;
+//! * char literals, including `'"'`, `'\''` and `'\u{…}'`, disambiguated
+//!   from lifetimes (`'a`, `'static`);
+//! * nested block comments (`/* /* … */ */`) and line comments, which are
+//!   kept in the stream as trivia so the pragma scanner can see them;
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`);
+//! * numeric literals classified int vs float (`1.0`, `1e300`, `1_000.5`,
+//!   suffixed forms) without misreading ranges (`1..=k`) or tuple field
+//!   access (`t.0`).
+//!
+//! The lexer is intentionally lossless about *placement* (every token
+//! carries its 1-based line) and lossy about everything the rules do not
+//! need (no keyword table, no operator precedence).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `r#raw` identifiers).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (without the tick).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Float literal (has a fractional part, an exponent, or an `f32`/`f64`
+    /// suffix).
+    Float,
+    /// String, raw-string, byte-string or C-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// `// …` comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Operator or delimiter, possibly multi-character (`==`, `::`, `..=`).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexeme kind.
+    pub kind: TokenKind,
+    /// The raw text of the lexeme.
+    pub text: String,
+    /// 1-based line of the lexeme's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this token trivia (a comment)?
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this a punct token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "::", "->", "=>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lex `src` into a token stream (comments included as trivia).
+///
+/// Unknown bytes are skipped rather than reported: the linter runs on code
+/// that `rustc` already accepted, so anything surprising here is at worst
+/// a missed finding, never a crash.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $start:expr, $line:expr) => {
+            out.push(Token {
+                kind: $kind,
+                text: src[$start..i].to_string(),
+                line: $line,
+            })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Newlines and whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                push!(TokenKind::LineComment, start, start_line);
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                push!(TokenKind::BlockComment, start, start_line);
+                continue;
+            }
+        }
+
+        // Raw strings / raw identifiers / byte strings — all start with a
+        // letter prefix, so handle them before plain identifiers.
+        if (c == b'r' || c == b'b' || c == b'c') && raw_or_prefixed_string(b, i) {
+            // Skip the prefix letters (`r`, `br`, `b`, `c`, `cr`, …).
+            while i < b.len() && b[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            let mut hashes = 0usize;
+            while i < b.len() && b[i] == b'#' {
+                hashes += 1;
+                i += 1;
+            }
+            debug_assert!(i < b.len() && b[i] == b'"');
+            i += 1; // opening quote
+                    // Raw strings (hashes > 0 or prefix contains `r`) take no
+                    // escapes; plain `b"…"` does.
+            let raw = src[start..i].contains('r') || hashes > 0;
+            loop {
+                if i >= b.len() {
+                    break;
+                }
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if !raw && b[i] == b'\\' {
+                    // A `\<newline>` continuation still ends a source line.
+                    if i + 1 < b.len() && b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    let mut j = i + 1;
+                    let mut closing = 0usize;
+                    while j < b.len() && b[j] == b'#' && closing < hashes {
+                        closing += 1;
+                        j += 1;
+                    }
+                    if closing == hashes {
+                        i = j;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            push!(TokenKind::Str, start, start_line);
+            continue;
+        }
+
+        // `r#ident` raw identifiers.
+        if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' {
+            i += 2;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            push!(TokenKind::Ident, start, start_line);
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            push!(TokenKind::Ident, start, start_line);
+            continue;
+        }
+
+        // Plain strings.
+        if c == b'"' {
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'\\' {
+                    // A `\<newline>` continuation still ends a source line.
+                    if i + 1 < b.len() && b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            push!(TokenKind::Str, start, start_line);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(end) = char_literal_end(b, i) {
+                i = end;
+                push!(TokenKind::Char, start, start_line);
+            } else {
+                // Lifetime: tick + identifier.
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push!(TokenKind::Lifetime, start, start_line);
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut is_float = false;
+            // Radix prefixes are integral by construction.
+            if c == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+                i += 2;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push!(TokenKind::Int, start, start_line);
+                continue;
+            }
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                i += 1;
+            }
+            // Fractional part — but not `1..k` (range) and not `1.method()`.
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                    i += 1;
+                }
+            } else if i < b.len()
+                && b[i] == b'.'
+                && (i + 1 == b.len() || !(b[i + 1] == b'.' || is_ident_char(b[i + 1])))
+            {
+                // Trailing-dot float `1.`.
+                is_float = true;
+                i += 1;
+            }
+            // Exponent.
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+            }
+            // Suffix (`f64`, `u32`, …).
+            let suffix_start = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            if src[suffix_start..i].starts_with('f') {
+                is_float = true;
+            }
+            push!(
+                if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                start,
+                start_line
+            );
+            continue;
+        }
+
+        // Multi-character punctuation, maximal munch.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            i += op.len();
+            push!(TokenKind::Punct, start, start_line);
+            continue;
+        }
+
+        // Single-character punctuation (or an unknown byte, skipped).
+        i += 1;
+        if c.is_ascii_punctuation() {
+            push!(TokenKind::Punct, start, start_line);
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Does the source at `i` (which starts with `r`, `b` or `c`) begin a
+/// (possibly raw, possibly prefixed) string literal? True for `r"`, `r#"`,
+/// `b"`, `br"`, `br#"`, `c"`, `cr#"`, …; false for identifiers like
+/// `radius` and raw identifiers like `r#match`.
+fn raw_or_prefixed_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && b[j].is_ascii_alphabetic() {
+        j += 1;
+        if j - i > 2 {
+            return false; // longest prefix is two letters (`br`, `cr`)
+        }
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        // `b#` alone is not a string prefix; `r`/`br`/`cr` take hashes.
+        let prefix = &b[i..i + (j - i - hashes)];
+        if hashes > 0 {
+            prefix.contains(&b'r') || prefix.contains(&b'c')
+        } else {
+            true
+        }
+    } else {
+        false
+    }
+}
+
+/// If a char literal starts at `i` (a tick), return the index one past its
+/// closing tick; `None` means this tick starts a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escaped char: consume the escape then expect the closing tick.
+        let mut k = j + 1;
+        if k < b.len() && b[k] == b'u' {
+            // `\u{…}`
+            k += 1;
+            if k < b.len() && b[k] == b'{' {
+                while k < b.len() && b[k] != b'}' {
+                    k += 1;
+                }
+                k += 1;
+            }
+        } else if k < b.len() && b[k] == b'x' {
+            k += 3; // \xNN
+        } else {
+            k += 1; // \n, \', \\, …
+        }
+        if k < b.len() && b[k] == b'\'' {
+            return Some(k + 1);
+        }
+        return None;
+    }
+    // Unescaped: exactly one character between ticks ⇒ char literal
+    // (`'a'`); anything else (`'a`, `'static`) is a lifetime. Multi-byte
+    // UTF-8 scalar values are handled by scanning to the next tick within
+    // a small window.
+    let mut k = j;
+    let mut chars = 0;
+    while k < b.len() && chars <= 2 {
+        if b[k] == b'\'' {
+            return if k > j { Some(k + 1) } else { None };
+        }
+        if b[k] == b'\n' {
+            return None;
+        }
+        // Count UTF-8 scalar starts only.
+        if (b[k] & 0xC0) != 0x80 {
+            chars += 1;
+        }
+        if chars > 1 {
+            return None; // more than one char before a tick ⇒ lifetime
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "partial_cmp().unwrap()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("partial_cmp")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "partial_cmp"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let src = r####"let s = r#"has "quotes" and partial_cmp"#; let t = r"x";"####;
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(toks.iter().any(|(_, t)| t == ";"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "partial_cmp"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = kinds(r#"fn f<'a>(x: &'a str) { let q = '"'; let e = '\''; let n = '\n'; }"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_quote_does_not_eat_code() {
+        // `'"'` must not start a string: the following unwrap is real code.
+        let toks = kinds(r#"let q = '"'; x.unwrap();"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ real_ident");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "real_ident"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("a.0 + 1.0 + 1e300 + 1_000.5 + 2f64 + (1..=k) + 0x1F + t.1.total_cmp");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, ["1.0", "1e300", "1_000.5", "2f64"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "..="));
+    }
+
+    #[test]
+    fn multi_punct_and_lines() {
+        let toks = lex("a == b\n  c != 0.0");
+        assert!(toks.iter().any(|t| t.is_punct("==") && t.line == 1));
+        assert!(toks.iter().any(|t| t.is_punct("!=") && t.line == 2));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Float && t.line == 2));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = radius;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "radius"));
+    }
+
+    #[test]
+    fn string_continuation_counts_its_newline() {
+        // Regression: `\<newline>` inside a string used to be skipped as a
+        // 2-byte escape without bumping the line counter, shifting every
+        // later finding's line number up by one per continuation.
+        let toks = lex("let s = \"one \\\n two\";\nlet t = \"a\";\nmarker");
+        let m = toks.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(m.line, 4);
+    }
+
+    #[test]
+    fn line_comments_kept_as_trivia() {
+        let toks = lex("x; // lint: allow(float-eq) — dispatch constant\ny;");
+        let c: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .collect();
+        assert_eq!(c.len(), 1);
+        assert!(c[0].text.contains("lint: allow"));
+        assert_eq!(c[0].line, 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Findings report: machine-readable JSON and a human table.
+//!
+//! The JSON writer is hand-rolled in the same offline spirit as the
+//! `mmb-bench` perf machinery — no serde, schema tag `mmb-analyze-1`,
+//! deterministic field and finding order so golden-file tests can compare
+//! bytes.
+
+use crate::rules::Finding;
+
+/// Result of one workspace (or fixture) scan.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by pragmas (audited exceptions).
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Did the scan come back clean?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering, applied by the scanners before returning.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// Machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"mmb-analyze-1\",\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            s.push_str(&format!("\"snippet\": {}", json_str(&f.snippet)));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Human-readable table plus a one-line summary.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "lint clean: {} files scanned, 0 findings ({} audited exception{} \
+                 suppressed by pragmas)\n",
+                self.files_scanned,
+                self.suppressed,
+                if self.suppressed == 1 { "" } else { "s" }
+            ));
+            return out;
+        }
+        let loc_w = self
+            .findings
+            .iter()
+            .map(|f| f.file.len() + 1 + digits(f.line))
+            .max()
+            .unwrap_or(8)
+            .max("location".len());
+        let rule_w = self
+            .findings
+            .iter()
+            .map(|f| f.rule.len())
+            .max()
+            .unwrap_or(4)
+            .max("rule".len());
+        out.push_str(&format!(
+            "{:<loc_w$}  {:<rule_w$}  finding\n",
+            "location", "rule"
+        ));
+        out.push_str(&format!("{:-<loc_w$}  {:-<rule_w$}  -------\n", "", ""));
+        for f in &self.findings {
+            let loc = format!("{}:{}", f.file, f.line);
+            out.push_str(&format!(
+                "{loc:<loc_w$}  {:<rule_w$}  {}\n",
+                f.rule, f.message
+            ));
+            out.push_str(&format!(
+                "{:loc_w$}  {:rule_w$}    > {}\n",
+                "", "", f.snippet
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} finding{} in {} files scanned ({} suppressed by pragmas)\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            self.suppressed
+        ));
+        out
+    }
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "float-eq",
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "exact float comparison against `1.0`".into(),
+                snippet: "if p == 1.0 {".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 2,
+        }
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema\": \"mmb-analyze-1\""));
+        assert!(j.contains("\"finding_count\": 1"));
+        assert!(j.contains("`1.0`"));
+        let r = Report {
+            findings: vec![Finding {
+                rule: "float-eq",
+                file: "a.rs".into(),
+                line: 1,
+                message: "quote \" backslash \\ tab\t".into(),
+                snippet: String::new(),
+            }],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        assert!(r.to_json().contains(r#"quote \" backslash \\ tab\t"#));
+    }
+
+    #[test]
+    fn table_lists_location_and_snippet() {
+        let t = sample().render_table();
+        assert!(t.contains("crates/x/src/lib.rs:7"));
+        assert!(t.contains("> if p == 1.0 {"));
+        assert!(t.contains("1 finding in 3 files scanned (2 suppressed by pragmas)"));
+    }
+
+    #[test]
+    fn clean_table_is_one_line() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 42,
+            suppressed: 9,
+        };
+        assert!(r.render_table().starts_with("lint clean: 42 files"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The linter's own acceptance test: the live workspace scans clean under
+//! the repo gate policy. This is the same check `reproduce lint` runs in
+//! CI — kept as a plain test too so `cargo test` alone catches a
+//! regression (a new NaN-unsafe comparator, an unpragma'd hash iteration)
+//! without needing the harness binary.
+
+use mmb_analyze::{scan_workspace, workspace_root};
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let report = scan_workspace(&workspace_root()).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        report.render_table()
+    );
+    assert!(
+        report.suppressed > 0,
+        "the audited-exception pragmas should register as suppressions"
+    );
+}

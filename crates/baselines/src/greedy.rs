@@ -26,10 +26,14 @@ pub fn first_fit(n: usize, k: usize, weights: &[f64]) -> Result<Coloring, SolveE
 /// each to the lightest class. The classical makespan heuristic; also
 /// satisfies eq. (1).
 pub fn lpt(n: usize, k: usize, weights: &[f64]) -> Result<Coloring, SolveError> {
-    validate(n, k, weights)?; // before the sort: NaN must not reach partial_cmp
+    validate(n, k, weights)?;
     let mut order: Vec<VertexId> = (0..n as u32).collect();
+    // total_cmp: total order on all f64 (validation already rejects NaN,
+    // but the comparator must not be the line that enforces that).
     order.sort_by(|&a, &b| {
-        weights[b as usize].partial_cmp(&weights[a as usize]).unwrap().then(a.cmp(&b))
+        weights[b as usize]
+            .total_cmp(&weights[a as usize])
+            .then(a.cmp(&b))
     });
     Ok(assign_in_order(n, k, weights, order))
 }
@@ -56,7 +60,11 @@ fn assign_in_order(n: usize, k: usize, weights: &[f64], order: Vec<VertexId>) ->
     let mut out = Coloring::new_uncolored(n, k);
     let mut load = vec![0.0f64; k];
     for v in order {
-        let i = (0..k).min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap()).unwrap();
+        // min_by is first-wins on ties, so the lowest-indexed lightest
+        // class receives the vertex — deterministic for any load vector.
+        let i = (0..k)
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+            .expect("k >= 1 classes");
         out.set(v, i as u32);
         load[i] += weights[v as usize];
     }
@@ -112,9 +120,16 @@ mod tests {
     fn lpt_and_first_fit_are_strict() {
         let weights: Vec<f64> = (0..100).map(|v| 1.0 + ((v * 17) % 13) as f64).collect();
         for k in [2usize, 3, 7, 32] {
-            assert!(lpt(100, k, &weights).unwrap().is_strictly_balanced(&weights), "lpt k={k}");
             assert!(
-                first_fit(100, k, &weights).unwrap().is_strictly_balanced(&weights),
+                lpt(100, k, &weights)
+                    .unwrap()
+                    .is_strictly_balanced(&weights),
+                "lpt k={k}"
+            );
+            assert!(
+                first_fit(100, k, &weights)
+                    .unwrap()
+                    .is_strictly_balanced(&weights),
                 "first_fit k={k}"
             );
         }
@@ -126,7 +141,10 @@ mod tests {
         let costs = vec![1.0; 49];
         let chi = round_robin(50, 2).unwrap();
         // Every edge joins consecutive ids → different colors.
-        assert_eq!(chi.boundary_costs(&g, &costs).iter().sum::<f64>(), 2.0 * 49.0);
+        assert_eq!(
+            chi.boundary_costs(&g, &costs).iter().sum::<f64>(),
+            2.0 * 49.0
+        );
     }
 
     #[test]
@@ -138,7 +156,10 @@ mod tests {
         let weights = vec![1.0; 100];
         let chi = first_fit(100, 4, &weights).unwrap();
         let total_cut: f64 = chi.boundary_costs(&g, &costs).iter().sum::<f64>() / 2.0;
-        assert!(total_cut > 50.0, "greedy should cut most edges, cut {total_cut}");
+        assert!(
+            total_cut > 50.0,
+            "greedy should cut most edges, cut {total_cut}"
+        );
     }
 
     #[test]
@@ -157,7 +178,10 @@ mod tests {
         assert_eq!(round_robin(5, 0).unwrap_err(), SolveError::ZeroColors);
         assert_eq!(
             first_fit(5, 2, &[1.0; 3]).unwrap_err(),
-            SolveError::Instance(InstanceError::WeightLength { got: 3, expected: 5 })
+            SolveError::Instance(InstanceError::WeightLength {
+                got: 3,
+                expected: 5
+            })
         );
         assert_eq!(
             lpt(3, 2, &[1.0, f64::NAN, 1.0]).unwrap_err(),

@@ -20,7 +20,10 @@ pub struct KlParams {
 
 impl Default for KlParams {
     fn default() -> Self {
-        Self { max_passes: 8, balance_factor: 1.1 }
+        Self {
+            max_passes: 8,
+            balance_factor: 1.1,
+        }
     }
 }
 
@@ -65,18 +68,17 @@ pub fn refine(
                     external.push((d, w));
                 }
             }
+            // total_cmp + class-id tie-break: ties between equally-attractive
+            // target classes must not depend on neighbor-list order.
             let Some(&(best_d, best_ext)) = external
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             else {
                 continue;
             };
             let gain = best_ext - internal;
             let wv = weights[v as usize];
-            if gain > 1e-12
-                && load[best_d as usize] + wv <= cap
-                && load[c as usize] - wv >= 0.0
-            {
+            if gain > 1e-12 && load[best_d as usize] + wv <= cap && load[c as usize] - wv >= 0.0 {
                 out.set(v, best_d);
                 load[c as usize] -= wv;
                 load[best_d as usize] += wv;
@@ -121,7 +123,10 @@ mod tests {
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; n];
         let start = Coloring::from_fn(n, 4, |v| v % 4);
-        let params = KlParams { max_passes: 20, balance_factor: 1.25 };
+        let params = KlParams {
+            max_passes: 20,
+            balance_factor: 1.25,
+        };
         let refined = refine(&grid.graph, &costs, &weights, &start, &params).unwrap();
         let cap = 1.25 * n as f64 / 4.0;
         for c in refined.class_measures(&weights) {
@@ -133,7 +138,9 @@ mod tests {
     fn never_worsens() {
         let grid = GridGraph::lattice(&[10, 10]);
         let n = 100;
-        let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| 1.0 + (e % 3) as f64)
+            .collect();
         let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
         let start = Coloring::from_fn(n, 5, |v| (v / 20) % 5);
         let refined = refine(&grid.graph, &costs, &weights, &start, &KlParams::default()).unwrap();

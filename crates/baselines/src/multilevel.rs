@@ -43,7 +43,12 @@ pub struct MultilevelParams {
 
 impl Default for MultilevelParams {
     fn default() -> Self {
-        Self { coarsest_factor: 8, max_levels: 20, kl: KlParams::default(), seed: 1 }
+        Self {
+            coarsest_factor: 8,
+            max_levels: 20,
+            kl: KlParams::default(),
+            seed: 1,
+        }
     }
 }
 
@@ -75,8 +80,7 @@ pub fn multilevel(
     let mut cur_graph = g.clone();
     let mut cur_costs = costs.to_vec();
     let mut cur_weights = weights.to_vec();
-    while cur_graph.num_vertices() > params.coarsest_factor * k
-        && levels.len() < params.max_levels
+    while cur_graph.num_vertices() > params.coarsest_factor * k && levels.len() < params.max_levels
     {
         let (map, coarse_n) = heavy_edge_matching(&cur_graph, &cur_costs, &mut rng);
         if coarse_n == cur_graph.num_vertices() {
@@ -107,7 +111,13 @@ pub fn multilevel(
                 fine.set(v, c);
             }
         }
-        chi = refine(&level.graph, &level.costs, &level.weights, &fine, &params.kl)?;
+        chi = refine(
+            &level.graph,
+            &level.costs,
+            &level.weights,
+            &fine,
+            &params.kl,
+        )?;
     }
     Ok(chi)
 }
@@ -130,11 +140,7 @@ impl Partitioner for Multilevel {
 }
 
 /// Heavy-edge matching: returns (fine → coarse map, coarse vertex count).
-fn heavy_edge_matching(
-    g: &Graph,
-    costs: &[f64],
-    rng: &mut StdRng,
-) -> (Vec<VertexId>, usize) {
+fn heavy_edge_matching(g: &Graph, costs: &[f64], rng: &mut StdRng) -> (Vec<VertexId>, usize) {
     let n = g.num_vertices();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
@@ -147,7 +153,13 @@ fn heavy_edge_matching(
             .neighbors(v)
             .iter()
             .filter(|&&(nb, _)| mate[nb as usize] == u32::MAX && nb != v)
-            .max_by(|a, b| costs[a.1 as usize].partial_cmp(&costs[b.1 as usize]).unwrap());
+            // total_cmp + neighbor-id tie-break: matching must not depend
+            // on adjacency-list order when edge costs tie.
+            .max_by(|a, b| {
+                costs[a.1 as usize]
+                    .total_cmp(&costs[b.1 as usize])
+                    .then(b.0.cmp(&a.0))
+            });
         match heaviest {
             Some(&(nb, _)) => {
                 mate[v as usize] = nb;
@@ -218,7 +230,14 @@ mod tests {
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; n];
         let k = 4;
-        let chi = multilevel(&grid.graph, &costs, &weights, k, &MultilevelParams::default()).unwrap();
+        let chi = multilevel(
+            &grid.graph,
+            &costs,
+            &weights,
+            k,
+            &MultilevelParams::default(),
+        )
+        .unwrap();
         assert!(chi.is_total());
         // Loose balance.
         let cm = chi.class_measures(&weights);
@@ -226,7 +245,10 @@ mod tests {
         assert!(norm_inf(&cm) <= 2.0 * avg, "classes {cm:?}");
         // Sane cut: far below cutting everything.
         let total_cut: f64 = chi.boundary_costs(&grid.graph, &costs).iter().sum::<f64>() / 2.0;
-        assert!(total_cut < grid.graph.num_edges() as f64 / 4.0, "cut {total_cut}");
+        assert!(
+            total_cut < grid.graph.num_edges() as f64 / 4.0,
+            "cut {total_cut}"
+        );
     }
 
     #[test]
@@ -244,9 +266,19 @@ mod tests {
         }
         let n = grid.graph.num_vertices();
         let weights = vec![1.0; n];
-        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default()).unwrap();
+        let chi = multilevel(
+            &grid.graph,
+            &costs,
+            &weights,
+            2,
+            &MultilevelParams::default(),
+        )
+        .unwrap();
         let cut: f64 = chi.boundary_costs(&grid.graph, &costs).iter().sum::<f64>() / 2.0;
-        assert!(cut < 500.0, "multilevel cut through the expensive column: {cut}");
+        assert!(
+            cut < 500.0,
+            "multilevel cut through the expensive column: {cut}"
+        );
     }
 
     #[test]
@@ -254,7 +286,10 @@ mod tests {
         let grid = GridGraph::lattice(&[10, 10]);
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; 100];
-        let p = MultilevelParams { seed: 7, ..Default::default() };
+        let p = MultilevelParams {
+            seed: 7,
+            ..Default::default()
+        };
         let a = multilevel(&grid.graph, &costs, &weights, 3, &p).unwrap();
         let b = multilevel(&grid.graph, &costs, &weights, 3, &p).unwrap();
         assert_eq!(a, b);
@@ -265,7 +300,14 @@ mod tests {
         let grid = GridGraph::lattice(&[2, 2]);
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = vec![1.0; 4];
-        let chi = multilevel(&grid.graph, &costs, &weights, 2, &MultilevelParams::default()).unwrap();
+        let chi = multilevel(
+            &grid.graph,
+            &costs,
+            &weights,
+            2,
+            &MultilevelParams::default(),
+        )
+        .unwrap();
         assert!(chi.is_total());
     }
 }

@@ -62,7 +62,11 @@ pub fn recursive_bisection_kst<S: Splitter + ?Sized>(
     validate_costs(g.num_edges(), costs)?;
     let tau = cost_degree_measure(g, costs);
     let tau_total = norm_1(&tau);
-    let eta = if tau_total > 0.0 { norm_1(weights) / tau_total } else { 0.0 };
+    let eta = if tau_total > 0.0 {
+        norm_1(weights) / tau_total
+    } else {
+        0.0
+    };
     let mixed: Vec<f64> = weights.iter().zip(&tau).map(|(w, t)| w + eta * t).collect();
     let mut chi = Coloring::new_uncolored(g.num_vertices(), k);
     for (color, part) in bisect(splitter, VertexSet::full(g.num_vertices()), &mixed, 0, k) {
@@ -178,14 +182,19 @@ mod tests {
         let weights = vec![1.0; n];
         let chi = recursive_bisection(&grid.graph, &sp, &weights, 4).unwrap();
         let total_cut: f64 = chi.boundary_costs(&grid.graph, &costs).iter().sum::<f64>() / 2.0;
-        assert!(total_cut <= 8.0 * 32.0, "RB total cut {total_cut} too large");
+        assert!(
+            total_cut <= 8.0 * 32.0,
+            "RB total cut {total_cut} too large"
+        );
     }
 
     #[test]
     fn kst_variant_also_partitions() {
         let grid = GridGraph::lattice(&[12, 12]);
         let n = grid.graph.num_vertices();
-        let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 5) as f64).collect();
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| 1.0 + (e % 5) as f64)
+            .collect();
         let sp = GridSplitter::new(&grid, &costs);
         let weights = vec![1.0; n];
         let chi = recursive_bisection_kst(&grid.graph, &costs, &sp, &weights, 6).unwrap();
@@ -219,7 +228,9 @@ mod tests {
         let chi = RecursiveBisection::default().partition(&inst, 4).unwrap();
         assert!(chi.is_total());
         assert_eq!(
-            RecursiveBisection::default().partition(&inst, 0).unwrap_err(),
+            RecursiveBisection::default()
+                .partition(&inst, 0)
+                .unwrap_err(),
             SolveError::ZeroColors
         );
     }

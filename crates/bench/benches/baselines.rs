@@ -18,7 +18,11 @@ use mmb_instances::climate::{climate, ClimateParams};
 use std::hint::black_box;
 
 fn bench_algorithms(c: &mut Criterion) {
-    let wl = climate(&ClimateParams { lon: 64, lat: 32, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 64,
+        lat: 32,
+        ..Default::default()
+    });
     let inst = Instance::from_grid(wl.grid, wl.costs, wl.weights).expect("valid instance");
     let k = 16;
 

@@ -61,7 +61,10 @@ fn bench_build_vs_solve(c: &mut Criterion) {
     let inst = instance(32, 7);
     group.bench_function("build_and_solve", |b| {
         b.iter(|| {
-            let solver = Solver::for_instance(black_box(&inst)).classes(16).build().unwrap();
+            let solver = Solver::for_instance(black_box(&inst))
+                .classes(16)
+                .build()
+                .unwrap();
             black_box(solver.solve().max_boundary)
         })
     });
@@ -87,8 +90,15 @@ fn bench_scratch_policies(c: &mut Criterion) {
         ("alloc_legacy", ScratchPolicy::Transient),
         ("workspace", ScratchPolicy::Reuse),
     ] {
-        let cfg = PipelineConfig { scratch, ..PipelineConfig::default() };
-        let solver = Solver::for_instance(&inst).classes(16).config(cfg).build().unwrap();
+        let cfg = PipelineConfig {
+            scratch,
+            ..PipelineConfig::default()
+        };
+        let solver = Solver::for_instance(&inst)
+            .classes(16)
+            .config(cfg)
+            .build()
+            .unwrap();
         group.bench_function(label, |b| {
             b.iter(|| black_box(black_box(&solver).solve().max_boundary))
         });

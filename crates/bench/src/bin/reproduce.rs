@@ -14,6 +14,10 @@
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
 //! reproduce gap-gate PATH                  # CI guard: fresh certified gaps
 //!                                          #   must not regress vs PATH
+//! reproduce lint [--json]                  # mmb-analyze soundness scan;
+//!                                          #   exits 1 on any unpragma'd
+//!                                          #   finding (NaN comparators,
+//!                                          #   hash-order leaks, …)
 //! ```
 
 use mmb_bench::{corpus, experiments, perf};
@@ -130,6 +134,30 @@ fn main() {
                 }
             }
         }
+        Some(&"lint") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = mmb_analyze::workspace_root();
+            let report = match mmb_analyze::scan_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("lint: cannot scan workspace at {}: {e}", root.display());
+                    std::process::exit(2);
+                }
+            };
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_table());
+            }
+            if !report.is_clean() {
+                eprintln!(
+                    "lint FAILED: {} finding(s) — fix them or add an audited \
+                     `// lint: allow(<rule>) — <reason>` pragma",
+                    report.findings.len()
+                );
+                std::process::exit(1);
+            }
+        }
         _ => {
             let ids: Vec<&str> = if words.is_empty() || words.contains(&"all") {
                 experiments::ALL.to_vec()
@@ -142,7 +170,10 @@ fn main() {
                 match experiments::run(id, quick) {
                     Some(table) => table.print(),
                     None => {
-                        eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL)
+                        eprintln!(
+                            "unknown experiment id: {id} (known: {:?})",
+                            experiments::ALL
+                        )
                     }
                 }
             }

@@ -105,7 +105,11 @@ fn format_row(
         fmt(bound),
         fmt(ratio),
         fmt(lower),
-        if gap.ratio.is_finite() { fmt(gap.ratio) } else { "∞".into() },
+        if gap.ratio.is_finite() {
+            fmt(gap.ratio)
+        } else {
+            "∞".into()
+        },
         fmt(slack),
         fmt(s.strict_defect),
         if strict { "yes".into() } else { "no".into() },
@@ -134,7 +138,11 @@ fn beats_lower(cost: f64, lower: f64) -> bool {
 /// smoke) over the pipeline, every baseline, and — on oracle-sized
 /// entries — the exact oracle, certifying a lower bound for every entry.
 pub fn run_corpus(quick: bool) -> CorpusOutcome {
-    let corpus = if quick { Corpus::quick() } else { Corpus::standard() };
+    let corpus = if quick {
+        Corpus::quick()
+    } else {
+        Corpus::standard()
+    };
     let mut table = Table::new(
         format!(
             "CORPUS: {} entries × partitioners — cost vs Theorem-5 RHS at p = 1, \
@@ -142,8 +150,20 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
             corpus.len()
         ),
         &[
-            "family", "entry", "algorithm", "n", "m", "k", "max ∂", "Thm5", "ratio",
-            "lower", "gap", "slack", "defect", "strict",
+            "family",
+            "entry",
+            "algorithm",
+            "n",
+            "m",
+            "k",
+            "max ∂",
+            "Thm5",
+            "ratio",
+            "lower",
+            "gap",
+            "slack",
+            "defect",
+            "strict",
         ],
     );
     let pipeline = Theorem4Pipeline::default();
@@ -157,8 +177,10 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
     let mut check_soundness = |entry: &CorpusEntry, algo: &str, lower: f64, cost: Option<f64>| {
         if let Some(cost) = cost {
             if beats_lower(cost, lower) {
-                soundness_violations
-                    .push(format!("{} / {algo}: cost {cost} < lower {lower}", entry.name));
+                soundness_violations.push(format!(
+                    "{} / {algo}: cost {cost} < lower {lower}",
+                    entry.name
+                ));
             }
         }
     };
@@ -217,7 +239,9 @@ pub fn run_corpus(quick: bool) -> CorpusOutcome {
     // the oracle's refusal threshold; the anytime branch-and-bound
     // engine takes the ground-truth role, proving optimality whenever
     // its search exhausts under the default budget.
-    let bnb = BnbPartitioner { cfg: BnbConfig::default() };
+    let bnb = BnbPartitioner {
+        cfg: BnbConfig::default(),
+    };
     let mut bnb_proven = 0usize;
     for entry in &Corpus::medium() {
         debug_assert!(entry.instance.num_vertices() > ORACLE_MAX_VERTICES);
@@ -286,14 +310,14 @@ mod tests {
         assert!(
             out.gate_ok,
             "gate failed: Thm5 ratio {} on `{}`; trivial {:?}; violations {:?}",
-            out.worst_pipeline_ratio, out.worst_entry, out.trivial_entries,
+            out.worst_pipeline_ratio,
+            out.worst_entry,
+            out.trivial_entries,
             out.soundness_violations
         );
         // Every corpus-proper entry contributes the pipeline + 5 baseline
         // rows, and every small entry a pipeline + oracle pair.
-        assert!(
-            out.table.rows.len() >= 6 * Corpus::quick().len() + 2 * Corpus::small().len()
-        );
+        assert!(out.table.rows.len() >= 6 * Corpus::quick().len() + 2 * Corpus::small().len());
         // The oracle actually appears.
         assert!(
             out.table.rows.iter().any(|r| r[2] == "oracle (exact)"),
@@ -305,13 +329,19 @@ mod tests {
             out.table.rows.iter().any(|r| r[2] == "bnb (anytime)"),
             "no bnb rows in the corpus table"
         );
-        assert!(out.bnb_proven >= 1, "no past-the-cap entry was proven optimal");
+        assert!(
+            out.bnb_proven >= 1,
+            "no past-the-cap entry was proven optimal"
+        );
         // Every row carries a finite certified gap (column 10): the
         // lower bound is positive corpus-wide.
         assert!(
             out.table.rows.iter().all(|r| r[10] != "∞"),
             "some row reports an infinite certified gap"
         );
-        assert!(out.worst_certified.0 >= 1.0, "a gap ratio below 1 means an unsound bound");
+        assert!(
+            out.worst_certified.0 >= 1.0,
+            "a gap ratio below 1 means an unsound bound"
+        );
     }
 }

@@ -8,9 +8,7 @@ use mmb_baselines::greedy::{FirstFit, Lpt};
 use mmb_baselines::kl::{refine, KlParams};
 use mmb_baselines::multilevel::Multilevel;
 use mmb_baselines::recursive_bisection::{recursive_bisection, RecursiveBisection};
-use mmb_core::api::{
-    auto_splitter, Instance, Partitioner, SolveError, Solver, Theorem4Pipeline,
-};
+use mmb_core::api::{auto_splitter, Instance, Partitioner, SolveError, Solver, Theorem4Pipeline};
 use mmb_core::bounds;
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::gen::tree::complete_binary_tree;
@@ -20,9 +18,7 @@ use mmb_instances::climate::{climate, ClimateParams, ClimateWorkload};
 use mmb_instances::costs::CostFamily;
 use mmb_instances::tight::TightInstance;
 use mmb_splitters::grid::{theorem19_bound, GridSplitter};
-use mmb_splitters::separator::{
-    GridSlabSeparator, SeparatorSplitter, TreeCentroidSeparator,
-};
+use mmb_splitters::separator::{GridSlabSeparator, SeparatorSplitter, TreeCentroidSeparator};
 use mmb_splitters::tree::TreeSplitter;
 use mmb_splitters::Splitter;
 use rayon::prelude::*;
@@ -64,7 +60,13 @@ impl Partitioner for RbKl {
     fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
         let (splitter, _) = auto_splitter(inst);
         let rb = recursive_bisection(inst.graph(), &splitter, inst.weights(), k)?;
-        refine(inst.graph(), inst.costs(), inst.weights(), &rb, &KlParams::default())
+        refine(
+            inst.graph(),
+            inst.costs(),
+            inst.weights(),
+            &rb,
+            &KlParams::default(),
+        )
     }
 }
 
@@ -74,7 +76,15 @@ impl Partitioner for RbKl {
 pub fn e4(quick: bool) -> Table {
     let mut t = Table::new(
         "E4: Lemma 40 lower bound on G̃ = ⌊k/4⌋ copies — avg boundary ≥ certificate",
-        &["k", "algorithm", "avg ∂", "LB", "avg/LB", "rough-bal", "strict"],
+        &[
+            "k",
+            "algorithm",
+            "avg ∂",
+            "LB",
+            "avg/LB",
+            "rough-bal",
+            "strict",
+        ],
     );
     let side = if quick { 8 } else { 12 };
     let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
@@ -133,12 +143,27 @@ pub fn e4(quick: bool) -> Table {
 pub fn e7(quick: bool) -> Table {
     let mut t = Table::new(
         "E7: climate load balancing — balance AND boundary, no trade-off (§1)",
-        &["algorithm", "max w / avg w", "strict", "max ∂", "avg ∂", "ms"],
+        &[
+            "algorithm",
+            "max w / avg w",
+            "strict",
+            "max ∂",
+            "avg ∂",
+            "ms",
+        ],
     );
     let params = if quick {
-        ClimateParams { lon: 48, lat: 24, ..Default::default() }
+        ClimateParams {
+            lon: 48,
+            lat: 24,
+            ..Default::default()
+        }
     } else {
-        ClimateParams { lon: 128, lat: 64, ..Default::default() }
+        ClimateParams {
+            lon: 128,
+            lat: 64,
+            ..Default::default()
+        }
     };
     let wl = climate(&params);
     let inst = climate_instance(&wl);
@@ -157,7 +182,11 @@ pub fn e7(quick: bool) -> Table {
         t.row(vec![
             algo.name().into(),
             fmt(s.balance_factor),
-            if s.is_strict(inst.weights()) { "yes".into() } else { "no".into() },
+            if s.is_strict(inst.weights()) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             fmt(s.max_boundary),
             fmt(s.avg_boundary),
             fmt(s.millis),
@@ -176,9 +205,17 @@ pub fn e8(quick: bool) -> Table {
         &["stage", "max ∂", "balance defect", "strict"],
     );
     let params = if quick {
-        ClimateParams { lon: 48, lat: 24, ..Default::default() }
+        ClimateParams {
+            lon: 48,
+            lat: 24,
+            ..Default::default()
+        }
     } else {
-        ClimateParams { lon: 96, lat: 48, ..Default::default() }
+        ClimateParams {
+            lon: 96,
+            lat: 48,
+            ..Default::default()
+        }
     };
     let wl = climate(&params);
     let inst = climate_instance(&wl);
@@ -198,7 +235,11 @@ pub fn e8(quick: bool) -> Table {
             name.into(),
             fmt(chi.max_boundary_cost(inst.graph(), inst.costs())),
             fmt(chi.strict_balance_defect(inst.weights())),
-            if chi.is_strictly_balanced(inst.weights()) { "yes".into() } else { "no".into() },
+            if chi.is_strictly_balanced(inst.weights()) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     // Ablation: skipping the shrink stage (BinPack2 alone must repair a
@@ -213,9 +254,15 @@ pub fn e8(quick: bool) -> Table {
         "ablation: skip shrink".into(),
         fmt(ablated.max_boundary),
         fmt(ablated.strict_defect),
-        if ablated.is_strictly_balanced() { "yes".into() } else { "no".into() },
+        if ablated.is_strictly_balanced() {
+            "yes".into()
+        } else {
+            "no".into()
+        },
     ]);
-    t.note("stage 3 / stage 1 max-∂ ratio bounded by a constant ⇒ strictness is (asymptotically) free");
+    t.note(
+        "stage 3 / stage 1 max-∂ ratio bounded by a constant ⇒ strictness is (asymptotically) free",
+    );
     t
 }
 
@@ -248,14 +295,25 @@ pub fn wall_costs(grid: &GridGraph, side: usize, phi: f64, width: usize) -> Vec<
 pub fn e9(quick: bool) -> Table {
     let mut t = Table::new(
         "E9: GridSplit vs unit-cost splitter — log^{1/d}φ vs φ growth",
-        &["arrangement", "φ", "aware cut", "blind cut", "blind/aware", "aware/Thm19"],
+        &[
+            "arrangement",
+            "φ",
+            "aware cut",
+            "blind cut",
+            "blind/aware",
+            "aware/Thm19",
+        ],
     );
     let side = if quick { 32 } else { 64 };
     let grid = GridGraph::lattice(&[side, side]);
     let n = grid.graph.num_vertices();
     let w = VertexSet::full(n);
     let weights = vec![1.0; n];
-    let phis: &[f64] = if quick { &[1.0, 1e3] } else { &[1.0, 10.0, 1e3, 1e6] };
+    let phis: &[f64] = if quick {
+        &[1.0, 1e3]
+    } else {
+        &[1.0, 10.0, 1e3, 1e6]
+    };
     let run = |costs: &[f64]| -> (f64, f64) {
         let aware = GridSplitter::new(&grid, costs);
         let blind = GridSplitter::unit_cost(&grid);
@@ -299,7 +357,9 @@ pub fn e9(quick: bool) -> Table {
             fmt(ca / bound),
         ]);
     }
-    t.note("iid noise: parity expected (nothing to exploit; blind's flat plane ≤ aware's staircase)");
+    t.note(
+        "iid noise: parity expected (nothing to exploit; blind's flat plane ≤ aware's staircase)",
+    );
     t.note("median wall: blind pays Θ(φ·side) while aware dodges — the §6 motivation");
     t
 }
@@ -309,15 +369,21 @@ pub fn e9(quick: bool) -> Table {
 pub fn e10(quick: bool) -> Table {
     let mut t = Table::new(
         "E10: avg vs max boundary on tight instances — no free lunch from averaging",
-        &["k", "avg ∂ (ours)", "max ∂ (ours)", "LB", "avg/LB", "max/avg"],
+        &[
+            "k",
+            "avg ∂ (ours)",
+            "max ∂ (ours)",
+            "LB",
+            "avg/LB",
+            "max/avg",
+        ],
     );
     let side = if quick { 8 } else { 12 };
     let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
     for &k in ks {
         let tight = TightInstance::grid(side, k);
         let inst = tight_instance(&tight, side, k);
-        let (_, s) =
-            run_scored(&Theorem4Pipeline::default(), &inst, k).expect("valid instance");
+        let (_, s) = run_scored(&Theorem4Pipeline::default(), &inst, k).expect("valid instance");
         let lb = tight.avg_boundary_lower_bound();
         t.row(vec![
             k.to_string(),
@@ -337,7 +403,14 @@ pub fn e10(quick: bool) -> Table {
 pub fn e11(quick: bool) -> Table {
     let mut t = Table::new(
         "E11: Lemma 37 separator ↔ splitter equivalence",
-        &["graph", "native splitter", "native cut", "via Split reduction", "reduction cut", "ratio"],
+        &[
+            "graph",
+            "native splitter",
+            "native cut",
+            "via Split reduction",
+            "reduction cut",
+            "ratio",
+        ],
     );
     // Forest direction.
     let levels = if quick { 10 } else { 13 };
@@ -393,9 +466,17 @@ pub fn e12(quick: bool) -> Table {
         &["quantity", "value"],
     );
     let params = if quick {
-        ClimateParams { lon: 48, lat: 24, ..Default::default() }
+        ClimateParams {
+            lon: 48,
+            lat: 24,
+            ..Default::default()
+        }
     } else {
-        ClimateParams { lon: 96, lat: 48, ..Default::default() }
+        ClimateParams {
+            lon: 96,
+            lat: 48,
+            ..Default::default()
+        }
     };
     let wl = climate(&params);
     let n = wl.grid.graph.num_vertices();
@@ -417,13 +498,17 @@ pub fn e12(quick: bool) -> Table {
         .solve();
     t.row(vec![
         "strict in w (eq. 1)".into(),
-        if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
+        if report.is_strictly_balanced() {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
     ]);
     for (name, m) in [("mem", &mem), ("io", &io)] {
         let cm = report.coloring.class_measures(m);
         let avg = norm_1(m) / k as f64;
-        let factor = cm.iter().cloned().fold(0.0, f64::max)
-            / (avg + m.iter().cloned().fold(0.0, f64::max));
+        let factor =
+            cm.iter().cloned().fold(0.0, f64::max) / (avg + m.iter().cloned().fold(0.0, f64::max));
         t.row(vec![
             format!("{name}: max class / (avg + max)"),
             fmt(factor),
@@ -432,8 +517,15 @@ pub fn e12(quick: bool) -> Table {
     t.row(vec!["max ∂".into(), fmt(report.max_boundary)]);
     t.row(vec![
         "Thm 5 bound".into(),
-        fmt(bounds::theorem5(2.0, k, inst.cost_norm(2.0), inst.max_cost())),
+        fmt(bounds::theorem5(
+            2.0,
+            k,
+            inst.cost_norm(2.0),
+            inst.max_cost(),
+        )),
     ]);
-    t.note("weak-balance factors O(1) while eq. (1) holds in w ⇒ the conclusion's remark reproduced");
+    t.note(
+        "weak-balance factors O(1) while eq. (1) holds in w ⇒ the conclusion's remark reproduced",
+    );
     t
 }

@@ -23,7 +23,9 @@ use crate::{fmt, timed};
 pub fn e1(quick: bool) -> Table {
     let mut t = Table::new(
         "E1: Theorem 4/5 — max boundary of strictly balanced k-colorings vs ‖c‖_p/k^{1/p} + ‖c‖∞",
-        &["graph", "p", "weights", "k", "max ∂", "bound", "ratio", "strict"],
+        &[
+            "graph", "p", "weights", "k", "max ∂", "bound", "ratio", "strict",
+        ],
     );
     let sides_2d: &[usize] = if quick { &[24] } else { &[24, 48, 96] };
     let ks: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64] };
@@ -31,7 +33,14 @@ pub fn e1(quick: bool) -> Table {
 
     for &side in sides_2d {
         let grid = GridGraph::lattice(&[side, side]);
-        run_e1_rows(&mut t, &grid, 2.0, &format!("grid {side}x{side}"), ks, &fams);
+        run_e1_rows(
+            &mut t,
+            &grid,
+            2.0,
+            &format!("grid {side}x{side}"),
+            ks,
+            &fams,
+        );
     }
     let sides_3d: &[usize] = if quick { &[8] } else { &[8, 14] };
     for &side in sides_3d {
@@ -54,8 +63,8 @@ fn run_e1_rows(
     let costs = vec![1.0; grid.graph.num_edges()];
     for fam in fams {
         let weights = fam.generate(n, 11);
-        let inst = Instance::from_grid(grid.clone(), costs.clone(), weights)
-            .expect("valid instance");
+        let inst =
+            Instance::from_grid(grid.clone(), costs.clone(), weights).expect("valid instance");
         for &k in ks {
             let report = Solver::for_instance(&inst)
                 .classes(k)
@@ -71,7 +80,11 @@ fn run_e1_rows(
                 fmt(report.max_boundary),
                 fmt(report.bound),
                 fmt(report.bound_ratio),
-                if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
+                if report.is_strictly_balanced() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -91,8 +104,8 @@ pub fn e2(quick: bool) -> Table {
     let ks: &[usize] = if quick { &[2, 16] } else { &[2, 5, 16, 64] };
     for fam in ALL_FAMILIES {
         let weights = fam.generate(n, 23);
-        let inst = Instance::from_grid(grid.clone(), costs.clone(), weights)
-            .expect("valid instance");
+        let inst =
+            Instance::from_grid(grid.clone(), costs.clone(), weights).expect("valid instance");
         for &k in ks {
             let report = Solver::for_instance(&inst)
                 .classes(k)
@@ -111,7 +124,11 @@ pub fn e2(quick: bool) -> Table {
                 fmt(dev),
                 fmt(report.strict_slack),
                 fmt(report.strict_defect),
-                if report.is_strictly_balanced() { "yes".into() } else { "NO".into() },
+                if report.is_strictly_balanced() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -124,7 +141,14 @@ pub fn e2(quick: bool) -> Table {
 pub fn e3(quick: bool) -> Table {
     let mut t = Table::new(
         "E3: Lemma 6 — multi-balanced colorings, r measures at once",
-        &["r", "k", "worst balance factor", "avg ∂", "B = q·σ‖c‖_p/k^{1/p}", "∂/B"],
+        &[
+            "r",
+            "k",
+            "worst balance factor",
+            "avg ∂",
+            "B = q·σ‖c‖_p/k^{1/p}",
+            "∂/B",
+        ],
     );
     let side = if quick { 24 } else { 48 };
     let grid = GridGraph::lattice(&[side, side]);
@@ -136,8 +160,18 @@ pub fn e3(quick: bool) -> Table {
     // Synthetic measures with very different spatial profiles.
     let measures: Vec<Vec<f64>> = vec![
         (0..n).map(|v| 1.0 + (v % 3) as f64).collect(),
-        (0..n as u32).map(|v| if grid.coord(v)[0] < side as i64 / 4 { 8.0 } else { 0.2 }).collect(),
-        (0..n as u32).map(|v| if grid.coord(v)[1] % 7 == 0 { 5.0 } else { 0.5 }).collect(),
+        (0..n as u32)
+            .map(|v| {
+                if grid.coord(v)[0] < side as i64 / 4 {
+                    8.0
+                } else {
+                    0.2
+                }
+            })
+            .collect(),
+        (0..n as u32)
+            .map(|v| if grid.coord(v)[1] % 7 == 0 { 5.0 } else { 0.5 })
+            .collect(),
         (0..n).map(|v| ((v * 37) % 11) as f64 + 0.1).collect(),
     ];
     let cnorm = total_edge_norm_p(&grid.graph, &costs, 2.0);
@@ -173,17 +207,41 @@ pub fn e3(quick: bool) -> Table {
 pub fn e5(quick: bool) -> Table {
     let mut t = Table::new(
         "E5: Theorem 19 — GridSplit cost vs d·log^{1/d}(φ+1)·‖c‖_{d/(d−1)}",
-        &["grid", "d", "cost family", "φ", "cut cost", "bound", "ratio"],
+        &[
+            "grid",
+            "d",
+            "cost family",
+            "φ",
+            "cut cost",
+            "bound",
+            "ratio",
+        ],
     );
-    let phis: &[f64] = if quick { &[1.0, 1e3] } else { &[1.0, 10.0, 1e3, 1e6] };
-    let dims: Vec<(Vec<usize>, &str)> = if quick {
-        vec![(vec![1024], "path 1024"), (vec![32, 32], "grid 32²"), (vec![10, 10, 10], "grid 10³")]
+    let phis: &[f64] = if quick {
+        &[1.0, 1e3]
     } else {
-        vec![(vec![4096], "path 4096"), (vec![64, 64], "grid 64²"), (vec![16, 16, 16], "grid 16³")]
+        &[1.0, 10.0, 1e3, 1e6]
+    };
+    let dims: Vec<(Vec<usize>, &str)> = if quick {
+        vec![
+            (vec![1024], "path 1024"),
+            (vec![32, 32], "grid 32²"),
+            (vec![10, 10, 10], "grid 10³"),
+        ]
+    } else {
+        vec![
+            (vec![4096], "path 4096"),
+            (vec![64, 64], "grid 64²"),
+            (vec![16, 16, 16], "grid 16³"),
+        ]
     };
     for (dims, label) in &dims {
         let d = dims.len();
-        let p = if d == 1 { 2.0 } else { d as f64 / (d as f64 - 1.0) };
+        let p = if d == 1 {
+            2.0
+        } else {
+            d as f64 / (d as f64 - 1.0)
+        };
         let grid = GridGraph::lattice(dims);
         let n = grid.graph.num_vertices();
         let w = VertexSet::full(n);
@@ -227,8 +285,7 @@ pub fn e6(quick: bool) -> Table {
         let n = grid.graph.num_vertices();
         let costs = vec![1.0; grid.graph.num_edges()];
         let weights = WeightFamily::Uniform.generate(n, 3);
-        let inst =
-            Instance::from_grid(grid, costs, weights).expect("valid instance");
+        let inst = Instance::from_grid(grid, costs, weights).expect("valid instance");
         for k in [4usize, 16, 64] {
             let solver = Solver::for_instance(&inst)
                 .classes(k)

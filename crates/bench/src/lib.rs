@@ -72,7 +72,11 @@ pub fn score(g: &Graph, costs: &[f64], weights: &[f64], chi: &Coloring) -> Score
         max_boundary: norm_inf(&bc),
         avg_boundary: norm_1(&bc) / k as f64,
         strict_defect: chi.strict_balance_defect(weights),
-        balance_factor: if avg_w > 0.0 { norm_inf(&cm) / avg_w } else { 1.0 },
+        balance_factor: if avg_w > 0.0 {
+            norm_inf(&cm) / avg_w
+        } else {
+            1.0
+        },
         millis: 0.0,
     }
 }

@@ -172,7 +172,9 @@ pub struct PerfReport {
 }
 
 fn det_weights(n: usize, seed: u64) -> Vec<f64> {
-    (0..n).map(|v| 1.0 + ((seed >> (v % 53)) & 7) as f64).collect()
+    (0..n)
+        .map(|v| 1.0 + ((seed >> (v % 53)) & 7) as f64)
+        .collect()
 }
 
 fn grid_instance(side: usize, seed: u64) -> Instance {
@@ -228,13 +230,21 @@ pub fn run(quick: bool) -> PerfReport {
     for &side in sides {
         let inst = uniform_grid_instance(side);
         let n = inst.num_vertices();
-        let alloc_cfg =
-            PipelineConfig { scratch: ScratchPolicy::Transient, ..PipelineConfig::default() };
+        let alloc_cfg = PipelineConfig {
+            scratch: ScratchPolicy::Transient,
+            ..PipelineConfig::default()
+        };
         let ws_cfg = PipelineConfig::default();
-        let alloc_solver =
-            Solver::for_instance(&inst).classes(k).config(alloc_cfg).build().expect("valid");
-        let ws_solver =
-            Solver::for_instance(&inst).classes(k).config(ws_cfg).build().expect("valid");
+        let alloc_solver = Solver::for_instance(&inst)
+            .classes(k)
+            .config(alloc_cfg)
+            .build()
+            .expect("valid");
+        let ws_solver = Solver::for_instance(&inst)
+            .classes(k)
+            .config(ws_cfg)
+            .build()
+            .expect("valid");
         // Warm the thread-local pool so the measured workspace solves see
         // steady-state reuse, then reset counters and measure.
         let warm = ws_solver.solve();
@@ -247,7 +257,10 @@ pub fn run(quick: bool) -> PerfReport {
             alloc_report.coloring, ws_report.coloring,
             "scratch policies diverged on side {side}"
         );
-        assert_eq!(warm.coloring, ws_report.coloring, "solve() is not deterministic");
+        assert_eq!(
+            warm.coloring, ws_report.coloring,
+            "solve() is not deterministic"
+        );
         let gap = CertifiedGap::new(
             best_lower_bound(&inst, k).value(),
             ws_report.max_boundary,
@@ -273,10 +286,18 @@ pub fn run(quick: bool) -> PerfReport {
     }
 
     // Batch suite: a stream of distinct instances through solve_many.
-    let batch_sides: &[usize] = if quick { &[8, 10, 12, 14] } else { &[16, 20, 24, 28] };
+    let batch_sides: &[usize] = if quick {
+        &[8, 10, 12, 14]
+    } else {
+        &[16, 20, 24, 28]
+    };
     let copies = if quick { 2 } else { 4 };
     let instances: Vec<Instance> = (0..copies)
-        .flat_map(|c| batch_sides.iter().map(move |&s| grid_instance(s, 11 + c as u64)))
+        .flat_map(|c| {
+            batch_sides
+                .iter()
+                .map(move |&s| grid_instance(s, 11 + c as u64))
+        })
         .collect();
     let batch_k = 8;
     let cfg = PipelineConfig::default();
@@ -284,7 +305,12 @@ pub fn run(quick: bool) -> PerfReport {
     let reference: Vec<_> = instances
         .iter()
         .map(|inst| {
-            Solver::for_instance(inst).classes(batch_k).build().expect("valid").solve().coloring
+            Solver::for_instance(inst)
+                .classes(batch_k)
+                .build()
+                .expect("valid")
+                .solve()
+                .coloring
         })
         .collect();
     let mut batch = Vec::new();
@@ -299,11 +325,16 @@ pub fn run(quick: bool) -> PerfReport {
         }
         batch.push(BatchRow { threads, ms });
     }
-    assert!(all_identical, "solve_many diverged from one-at-a-time solves");
+    assert!(
+        all_identical,
+        "solve_many diverged from one-at-a-time solves"
+    );
 
     PerfReport {
         mode: if quick { "quick" } else { "full" }.into(),
-        threads_available: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        threads_available: std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
         scaling,
         batch_instances: instances.len(),
         batch,
@@ -375,7 +406,10 @@ impl PerfReport {
             ));
         }
         s.push_str("  ],\n");
-        s.push_str(&format!("  \"batch_instances\": {},\n", self.batch_instances));
+        s.push_str(&format!(
+            "  \"batch_instances\": {},\n",
+            self.batch_instances
+        ));
         s.push_str("  \"batch\": [\n");
         for (i, r) in self.batch.iter().enumerate() {
             s.push_str(&format!(
@@ -402,7 +436,11 @@ impl PerfReport {
                 fnum_exact(r.ratio),
                 r.certifier,
                 r.proven,
-                if i + 1 < self.corpus_gaps.len() { "," } else { "" },
+                if i + 1 < self.corpus_gaps.len() {
+                    ","
+                } else {
+                    ""
+                },
             ));
         }
         s.push_str("  ],\n");
@@ -449,8 +487,11 @@ impl PerfReport {
                 .join(", ")
         ));
         let proven = self.corpus_gaps.iter().filter(|r| r.proven).count();
-        let proven_past_cap =
-            self.corpus_gaps.iter().filter(|r| r.proven && r.n > 16).count();
+        let proven_past_cap = self
+            .corpus_gaps
+            .iter()
+            .filter(|r| r.proven && r.n > 16)
+            .count();
         s.push_str(&format!(
             "corpus gaps: {} entries, {} proven optimal ({} past the n = 16 oracle cap)\n",
             self.corpus_gaps.len(),
@@ -666,7 +707,8 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     }
     for (i, row) in scaling.iter().enumerate() {
         for key in ["side", "n", "k", "workspace"] {
-            row.get(key).ok_or_else(|| format!("scaling[{i}] missing \"{key}\""))?;
+            row.get(key)
+                .ok_or_else(|| format!("scaling[{i}] missing \"{key}\""))?;
         }
         // Timings must be actual numbers — the writer serializes
         // non-finite values as `null`, which the guard must reject.
@@ -683,7 +725,9 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             return Err(format!("scaling[{i}].stage_ms must have 3 entries"));
         }
         if stages.iter().any(|s| s.as_num().is_none()) {
-            return Err(format!("scaling[{i}].stage_ms entries must be finite numbers"));
+            return Err(format!(
+                "scaling[{i}].stage_ms entries must be finite numbers"
+            ));
         }
         // The certified gap: a lower bound of 0 would serialize ratio ∞
         // as null, which the guard refuses — the committed baseline must
@@ -701,7 +745,9 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         // ratio field happens to be finite — refuse it outright.
         let lower = certified.get("lower").and_then(Json::as_num).unwrap_or(0.0);
         if lower <= 0.0 {
-            return Err(format!("scaling[{i}].certified.lower must be positive, got {lower}"));
+            return Err(format!(
+                "scaling[{i}].certified.lower must be positive, got {lower}"
+            ));
         }
     }
     let batch = doc
@@ -754,7 +800,9 @@ fn parse_gap_rows(doc: &Json) -> Result<Vec<GapRow>, String> {
         let (n, k) = (num("n")? as usize, num("k")? as usize);
         let (lower, upper, ratio) = (num("lower")?, num("upper")?, num("ratio")?);
         if lower <= 0.0 {
-            return Err(format!("corpus_gaps[{i}].lower must be positive, got {lower}"));
+            return Err(format!(
+                "corpus_gaps[{i}].lower must be positive, got {lower}"
+            ));
         }
         let certifier = match row.get("certifier") {
             Some(Json::Str(s)) => s.clone(),
@@ -764,7 +812,16 @@ fn parse_gap_rows(doc: &Json) -> Result<Vec<GapRow>, String> {
             Some(Json::Bool(b)) => *b,
             _ => return Err(format!("corpus_gaps[{i}].proven must be a bool")),
         };
-        out.push(GapRow { name, n, k, lower, upper, ratio, certifier, proven });
+        out.push(GapRow {
+            name,
+            n,
+            k,
+            lower,
+            upper,
+            ratio,
+            certifier,
+            proven,
+        });
     }
     Ok(out)
 }
@@ -897,9 +954,18 @@ mod tests {
         // criterion the validator enforces on committed baselines).
         for r in &rows {
             assert!(r.lower > 0.0, "{}: trivial bound", r.name);
-            assert!(r.ratio.is_finite() && r.ratio >= 1.0 - 1e-9, "{}: ratio {}", r.name, r.ratio);
+            assert!(
+                r.ratio.is_finite() && r.ratio >= 1.0 - 1e-9,
+                "{}: ratio {}",
+                r.name,
+                r.ratio
+            );
             if r.proven {
-                assert!(matches!(r.certifier.as_str(), "oracle" | "bnb"), "{}", r.name);
+                assert!(
+                    matches!(r.certifier.as_str(), "oracle" | "bnb"),
+                    "{}",
+                    r.name
+                );
             }
         }
         assert!(
@@ -914,8 +980,14 @@ mod tests {
         let msg = gap_regression_check(&json).expect("self-gate must pass");
         assert!(msg.contains("none regressed"), "{msg}");
         let doctored = json.replace(
-            &format!("\"ratio\": {}", super::fnum_exact(report.corpus_gaps[0].ratio)),
-            &format!("\"ratio\": {}", super::fnum_exact(report.corpus_gaps[0].ratio / 16.0)),
+            &format!(
+                "\"ratio\": {}",
+                super::fnum_exact(report.corpus_gaps[0].ratio)
+            ),
+            &format!(
+                "\"ratio\": {}",
+                super::fnum_exact(report.corpus_gaps[0].ratio / 16.0)
+            ),
         );
         assert_ne!(doctored, json, "test setup failed to doctor the baseline");
         let err = gap_regression_check(&doctored).unwrap_err();

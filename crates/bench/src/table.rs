@@ -56,7 +56,11 @@ impl Table {
         out.push_str(&line(&self.columns, &widths));
         out.push_str(&format!(
             "|{}|\n",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&line(row, &widths));

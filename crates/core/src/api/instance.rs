@@ -65,11 +65,7 @@ impl std::fmt::Debug for Instance {
     }
 }
 
-fn validate(
-    graph: &Graph,
-    costs: &[f64],
-    weights: &[f64],
-) -> Result<(), InstanceError> {
+fn validate(graph: &Graph, costs: &[f64], weights: &[f64]) -> Result<(), InstanceError> {
     validate_weights(graph.num_vertices(), weights)?;
     validate_costs(graph.num_edges(), costs)
 }
@@ -133,7 +129,9 @@ impl Instance {
             });
         }
         if measure.iter().any(|x| !x.is_finite() || *x < 0.0) {
-            return Err(InstanceError::NotFinite { what: "extra measure" });
+            return Err(InstanceError::NotFinite {
+                what: "extra measure",
+            });
         }
         self.extras.push(measure);
         Ok(self)
@@ -278,8 +276,7 @@ mod tests {
     #[test]
     fn caches_derived_quantities() {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let inst =
-            Instance::new(g, vec![1.0, 2.0, 4.0], vec![1.0, 3.0, 0.5, 2.0]).unwrap();
+        let inst = Instance::new(g, vec![1.0, 2.0, 4.0], vec![1.0, 3.0, 0.5, 2.0]).unwrap();
         assert_eq!(inst.max_weight(), 3.0);
         assert_eq!(inst.total_weight(), 6.5);
         assert_eq!(inst.max_cost(), 4.0);
@@ -294,11 +291,17 @@ mod tests {
         let g = path(3);
         assert_eq!(
             Instance::new(g.clone(), vec![1.0; 2], vec![1.0; 2]).unwrap_err(),
-            InstanceError::WeightLength { got: 2, expected: 3 }
+            InstanceError::WeightLength {
+                got: 2,
+                expected: 3
+            }
         );
         assert_eq!(
             Instance::new(g.clone(), vec![1.0; 5], vec![1.0; 3]).unwrap_err(),
-            InstanceError::CostLength { got: 5, expected: 2 }
+            InstanceError::CostLength {
+                got: 5,
+                expected: 2
+            }
         );
         assert_eq!(
             Instance::new(g.clone(), vec![1.0; 2], vec![1.0, f64::NAN, 1.0]).unwrap_err(),
@@ -315,12 +318,18 @@ mod tests {
         let inst = Instance::new(g.clone(), vec![1.0; 2], vec![1.0; 3]).unwrap();
         assert_eq!(
             inst.with_extra_measure(vec![1.0; 4]).unwrap_err(),
-            InstanceError::MeasureLength { index: 0, got: 4, expected: 3 }
+            InstanceError::MeasureLength {
+                index: 0,
+                got: 4,
+                expected: 3
+            }
         );
         let inst = Instance::new(g, vec![1.0; 2], vec![1.0; 3]).unwrap();
         assert_eq!(
             inst.with_extra_measure(vec![1.0, -1.0, 0.0]).unwrap_err(),
-            InstanceError::NotFinite { what: "extra measure" }
+            InstanceError::NotFinite {
+                what: "extra measure"
+            }
         );
     }
 

@@ -48,7 +48,9 @@ pub struct Theorem4Pipeline {
 impl Theorem4Pipeline {
     /// Pipeline with a given `p`.
     pub fn with_p(p: f64) -> Self {
-        Self { cfg: PipelineConfig::with_p(p) }
+        Self {
+            cfg: PipelineConfig::with_p(p),
+        }
     }
 }
 
@@ -81,6 +83,9 @@ mod tests {
         let chi = algo.partition(&inst, 5).unwrap();
         assert!(chi.is_total());
         assert!(chi.is_strictly_balanced(&weights));
-        assert_eq!(algo.partition(&inst, 0).unwrap_err(), SolveError::ZeroColors);
+        assert_eq!(
+            algo.partition(&inst, 0).unwrap_err(),
+            SolveError::ZeroColors
+        );
     }
 }

@@ -117,7 +117,10 @@ impl Report {
             k,
             p,
             strict: stage3.is_strictly_balanced(weights),
-            stages: StageReport { multibalanced: stage1, almost_strict: stage2 },
+            stages: StageReport {
+                multibalanced: stage1,
+                almost_strict: stage2,
+            },
             boundary_costs,
             coloring: stage3,
             stage_millis: [0.0; 3],
@@ -138,7 +141,11 @@ impl Report {
             .iter()
             .zip(&self.boundary_costs)
             .enumerate()
-            .map(|(class, (&weight, &boundary_cost))| ClassRow { class, weight, boundary_cost })
+            .map(|(class, (&weight, &boundary_cost))| ClassRow {
+                class,
+                weight,
+                boundary_cost,
+            })
             .collect()
     }
 

@@ -38,6 +38,8 @@
 
 pub mod bounds;
 
+// lint: allow(nondeterminism) — import only; both call sites carry their
+// own audited pragmas (deadline checks affect truncation, not the answer).
 use std::time::{Duration, Instant};
 
 use mmb_graph::{Coloring, VertexId};
@@ -72,19 +74,28 @@ pub struct BnbConfig {
 
 impl Default for BnbConfig {
     fn default() -> Self {
-        BnbConfig { node_budget: Some(DEFAULT_NODE_BUDGET), time_budget: None }
+        BnbConfig {
+            node_budget: Some(DEFAULT_NODE_BUDGET),
+            time_budget: None,
+        }
     }
 }
 
 impl BnbConfig {
     /// No budgets: run to exhaustion, return the proven optimum.
     pub fn exhaustive() -> Self {
-        BnbConfig { node_budget: None, time_budget: None }
+        BnbConfig {
+            node_budget: None,
+            time_budget: None,
+        }
     }
 
     /// Exhaustive except for a node budget of `nodes`.
     pub fn with_node_budget(nodes: u64) -> Self {
-        BnbConfig { node_budget: Some(nodes), time_budget: None }
+        BnbConfig {
+            node_budget: Some(nodes),
+            time_budget: None,
+        }
     }
 }
 
@@ -248,10 +259,14 @@ pub(crate) fn solve_seeded(
     // visiting a single node.
     if best.is_none() || best_cost > root_lower {
         let budget = cfg.node_budget.unwrap_or(u64::MAX);
+        // lint: allow(nondeterminism) — wall-clock deadline is an explicit,
+        // caller-opted time budget; expiry sets `truncated` (reported as
+        // such) and never changes an exactness claim.
         let deadline = cfg.time_budget.and_then(|d| Instant::now().checked_add(d));
         let mut stop = |visited: u64| {
             visited >= budget
                 || interrupt(visited)
+                // lint: allow(nondeterminism) — deadline check, see above.
                 || deadline.is_some_and(|t| visited.is_multiple_of(1024) && Instant::now() >= t)
         };
         let mut engine = Engine {
@@ -287,7 +302,13 @@ pub(crate) fn solve_seeded(
     } else {
         CertifiedGap::new(root_lower, max_boundary, root_certifier)
     };
-    Ok(BnbSolution { coloring, max_boundary, nodes, proven_optimal, gap })
+    Ok(BnbSolution {
+        coloring,
+        max_boundary,
+        nodes,
+        proven_optimal,
+        gap,
+    })
 }
 
 /// The branch-and-bound solver as a [`Partitioner`], so it drops into
@@ -324,7 +345,10 @@ pub struct BnbBound {
 
 impl Default for BnbBound {
     fn default() -> Self {
-        BnbBound { max_vertices: 24, node_budget: 2_000_000 }
+        BnbBound {
+            max_vertices: 24,
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -471,7 +495,10 @@ mod tests {
         // Starved budget on a hard instance: decline rather than certify
         // an unproven incumbent.
         let hard = unit(hypercube(4));
-        let starved = BnbBound { max_vertices: 24, node_budget: 3 };
+        let starved = BnbBound {
+            max_vertices: 24,
+            node_budget: 3,
+        };
         assert!(starved.certify(&hard, 2).is_none());
     }
 

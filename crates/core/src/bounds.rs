@@ -52,7 +52,10 @@ mod tests {
         let b2 = theorem4(1.0, 2.0, 4, 10.0, 0.0);
         assert!(close(b1 / b2, 2f64.sqrt()));
         // Δ_c enters additively.
-        assert!(close(theorem4(2.0, 2.0, 4, 10.0, 3.0), 2.0 * (10.0 / 2.0 + 3.0)));
+        assert!(close(
+            theorem4(2.0, 2.0, 4, 10.0, 3.0),
+            2.0 * (10.0 / 2.0 + 3.0)
+        ));
     }
 
     #[test]

@@ -69,12 +69,16 @@ pub fn binpack1<S: Splitter + ?Sized>(
                     let x = splitter.split(&class, weights, 1.5 * wmax);
                     if x.is_empty() || set_sum(weights, &x) <= 0.0 {
                         // Defensive: peel the heaviest single vertex instead.
+                        // total_cmp + id tie-break (max_by is last-wins, so
+                        // `then(b.cmp(&a))` makes the lowest id win ties).
                         let heaviest = class
                             .iter()
                             .max_by(|&a, &b| {
-                                weights[a as usize].partial_cmp(&weights[b as usize]).unwrap()
+                                weights[a as usize]
+                                    .total_cmp(&weights[b as usize])
+                                    .then(b.cmp(&a))
                             })
-                            .unwrap();
+                            .expect("class is non-empty");
                         VertexSet::from_iter(n, [heaviest])
                     } else {
                         x
@@ -97,11 +101,10 @@ pub fn binpack1<S: Splitter + ?Sized>(
 
     // Step 4: place leftovers on the lightest colors.
     while let Some(x) = buffer.pop() {
+        // min_by is first-wins on ties → lowest-indexed lightest color.
         let i = (0..k)
-            .min_by(|&a, &b| {
-                (cw(&classes[a]) + w1[a]).partial_cmp(&(cw(&classes[b]) + w1[b])).unwrap()
-            })
-            .unwrap();
+            .min_by(|&a, &b| (cw(&classes[a]) + w1[a]).total_cmp(&(cw(&classes[b]) + w1[b])))
+            .expect("k >= 1 classes");
         classes[i].union_with(&x);
     }
 
@@ -192,7 +195,10 @@ mod tests {
         let wmax = norm_inf(&weights);
         let out = binpack1(&grid.graph, &costs, &sp, &chi0, &w0, &weights, &w1, wmax);
         let cm = out.class_measures(&weights);
-        assert!(almost_strict_defect(&cm, &w1, wmax) <= 1e-9, "classes {cm:?}");
+        assert!(
+            almost_strict_defect(&cm, &w1, wmax) <= 1e-9,
+            "classes {cm:?}"
+        );
     }
 
     #[test]
@@ -203,7 +209,16 @@ mod tests {
         let w0 = VertexSet::full(16);
         let weights = vec![0.0; 16];
         let chi0 = Coloring::from_fn(16, 2, |v| v % 2);
-        let out = binpack1(&grid.graph, &costs, &sp, &chi0, &w0, &weights, &[0.0, 0.0], 0.0);
+        let out = binpack1(
+            &grid.graph,
+            &costs,
+            &sp,
+            &chi0,
+            &w0,
+            &weights,
+            &[0.0, 0.0],
+            0.0,
+        );
         assert_eq!(out, chi0);
     }
 }

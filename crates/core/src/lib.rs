@@ -109,7 +109,7 @@ pub use lower_bounds::{
     LowerBoundReport,
 };
 pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
-pub use pipeline::{decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy};
+pub use pipeline::{decompose, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy};
 
 /// Commonly used items for downstream crates.
 pub mod prelude {
@@ -123,7 +123,7 @@ pub mod prelude {
     pub use crate::oracle::{exact_min_max_boundary, ExactOracle};
     pub use crate::pi::splitting_cost_measure;
     pub use crate::pipeline::{
-        decompose, Decomposition, DecomposeError, PipelineConfig, ScratchPolicy,
+        decompose, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy,
     };
     pub use crate::verify::{verify_decomposition, DecompositionReport};
 }

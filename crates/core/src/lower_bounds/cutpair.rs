@@ -41,7 +41,10 @@ pub struct CutPairBound {
 
 impl Default for CutPairBound {
     fn default() -> Self {
-        CutPairBound { max_vertices: 256, max_flows: 12 }
+        CutPairBound {
+            max_vertices: 256,
+            max_flows: 12,
+        }
     }
 }
 
@@ -51,9 +54,7 @@ fn heavy_pairs(inst: &Instance, k: usize) -> Vec<(VertexId, VertexId)> {
     let win = Window::new(inst, k);
     let w = inst.weights();
     let mut by_weight: Vec<VertexId> = (0..inst.num_vertices() as u32).collect();
-    by_weight.sort_unstable_by(|&a, &b| {
-        w[b as usize].total_cmp(&w[a as usize]).then(a.cmp(&b))
-    });
+    by_weight.sort_unstable_by(|&a, &b| w[b as usize].total_cmp(&w[a as usize]).then(a.cmp(&b)));
     let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
     for i in 0..by_weight.len() {
         for j in (i + 1)..by_weight.len() {
@@ -160,7 +161,12 @@ impl LowerBound for CutPairBound {
         Some(Certificate {
             certifier: self.name(),
             value,
-            derivation: Derivation::CutPair { u, v, cut_cost: value, side },
+            derivation: Derivation::CutPair {
+                u,
+                v,
+                cut_cost: value,
+                side,
+            },
         })
     }
 }
@@ -179,7 +185,9 @@ pub(crate) fn replay_cut_pair(
 ) -> Result<f64, String> {
     let n = inst.num_vertices();
     if u as usize >= n || v as usize >= n || u == v {
-        return Err(format!("pair ({u}, {v}) is not a pair of distinct vertices"));
+        return Err(format!(
+            "pair ({u}, {v}) is not a pair of distinct vertices"
+        ));
     }
     let w = inst.weights();
     let win = Window::new(inst, k);
@@ -232,12 +240,16 @@ mod tests {
     #[test]
     fn heavy_pair_forces_a_real_cut() {
         let inst = heavy_ends_path(8);
-        let cert = CutPairBound::default().certify(&inst, 2).expect("pair must fire");
+        let cert = CutPairBound::default()
+            .certify(&inst, 2)
+            .expect("pair must fire");
         assert!((cert.value - 1.0).abs() < 1e-6, "value = {}", cert.value);
         let replayed = cert.derivation.replay(&inst, 2).unwrap();
         assert!((replayed - cert.value).abs() < 1e-12);
         // Sound against the exact optimum.
-        let opt = crate::oracle::exact_min_max_boundary(&inst, 2).unwrap().max_boundary;
+        let opt = crate::oracle::exact_min_max_boundary(&inst, 2)
+            .unwrap()
+            .max_boundary;
         assert!(cert.value <= opt + 1e-9);
     }
 
@@ -265,7 +277,10 @@ mod tests {
         let heavy = heavy_ends_path(8);
         assert!(CutPairBound::default().certify(&heavy, 1).is_none());
         // Size cap.
-        let capped = CutPairBound { max_vertices: 4, ..CutPairBound::default() };
+        let capped = CutPairBound {
+            max_vertices: 4,
+            ..CutPairBound::default()
+        };
         assert!(capped.certify(&heavy, 2).is_none());
     }
 
@@ -277,13 +292,28 @@ mod tests {
             panic!("wrong derivation");
         };
         // A side that prices above the minimum cut: caught.
-        let fat = Derivation::CutPair { u, v, cut_cost, side: vec![0, 2, 4] };
+        let fat = Derivation::CutPair {
+            u,
+            v,
+            cut_cost,
+            side: vec![0, 2, 4],
+        };
         assert!(fat.replay(&inst, 2).is_err());
         // A side that fails to separate the pair: caught.
-        let wrong = Derivation::CutPair { u, v, cut_cost, side: vec![0, 7] };
+        let wrong = Derivation::CutPair {
+            u,
+            v,
+            cut_cost,
+            side: vec![0, 7],
+        };
         assert!(wrong.replay(&inst, 2).is_err());
         // An unforced pair: caught.
-        let unforced = Derivation::CutPair { u: 2, v: 3, cut_cost, side: vec![0, 1, 2] };
+        let unforced = Derivation::CutPair {
+            u: 2,
+            v: 3,
+            cut_cost,
+            side: vec![0, 1, 2],
+        };
         assert!(unforced.replay(&inst, 2).is_err());
     }
 }

@@ -218,29 +218,37 @@ impl Derivation {
     /// first mismatch.
     pub fn replay(&self, inst: &Instance, k: usize) -> Result<f64, String> {
         match self {
-            Derivation::Volume { required_cut_edges, components, cheapest } => {
-                volume::replay_volume(inst, k, *required_cut_edges, *components, cheapest)
-            }
-            Derivation::Disconnected { components, min_cost, node_budget } => {
-                volume::replay_disconnected(inst, k, *components, *min_cost, *node_budget)
-            }
+            Derivation::Volume {
+                required_cut_edges,
+                components,
+                cheapest,
+            } => volume::replay_volume(inst, k, *required_cut_edges, *components, cheapest),
+            Derivation::Disconnected {
+                components,
+                min_cost,
+                node_budget,
+            } => volume::replay_disconnected(inst, k, *components, *min_cost, *node_budget),
             Derivation::Packing { per_vertex_total } => {
                 packing::replay_packing(inst, k, *per_vertex_total)
             }
             Derivation::MinCut { cut_cost, side } => {
                 packing::replay_min_cut(inst, k, *cut_cost, side)
             }
-            Derivation::Structure { family, extents, size_range, min_cost, boundary_edges } => {
-                structure::replay_structure(
-                    inst,
-                    k,
-                    family,
-                    extents,
-                    *size_range,
-                    *min_cost,
-                    *boundary_edges,
-                )
-            }
+            Derivation::Structure {
+                family,
+                extents,
+                size_range,
+                min_cost,
+                boundary_edges,
+            } => structure::replay_structure(
+                inst,
+                k,
+                family,
+                extents,
+                *size_range,
+                *min_cost,
+                *boundary_edges,
+            ),
             Derivation::Oracle { optimum, .. } => {
                 let s = exact_min_max_boundary(inst, k).map_err(|e| e.to_string())?;
                 if (s.max_boundary - optimum).abs() > 1e-9 * (1.0 + optimum.abs()) {
@@ -251,15 +259,21 @@ impl Derivation {
                 }
                 Ok(s.max_boundary)
             }
-            Derivation::EdgePacking { per_vertex_total, vertex_budget } => {
-                packing::replay_edge_packing(inst, k, *per_vertex_total, *vertex_budget)
-            }
-            Derivation::CutPair { u, v, cut_cost, side } => {
-                cutpair::replay_cut_pair(inst, k, *u, *v, *cut_cost, side)
-            }
-            Derivation::BnbOptimal { optimum, node_budget, .. } => {
-                crate::bnb::replay_bnb(inst, k, *optimum, *node_budget)
-            }
+            Derivation::EdgePacking {
+                per_vertex_total,
+                vertex_budget,
+            } => packing::replay_edge_packing(inst, k, *per_vertex_total, *vertex_budget),
+            Derivation::CutPair {
+                u,
+                v,
+                cut_cost,
+                side,
+            } => cutpair::replay_cut_pair(inst, k, *u, *v, *cut_cost, side),
+            Derivation::BnbOptimal {
+                optimum,
+                node_budget,
+                ..
+            } => crate::bnb::replay_bnb(inst, k, *optimum, *node_budget),
         }
     }
 }
@@ -296,7 +310,10 @@ impl LowerBound for OracleBound {
         Some(Certificate {
             certifier: self.name(),
             value: s.max_boundary,
-            derivation: Derivation::Oracle { optimum: s.max_boundary, nodes: s.nodes },
+            derivation: Derivation::Oracle {
+                optimum: s.max_boundary,
+                nodes: s.nodes,
+            },
         })
     }
 }
@@ -417,7 +434,12 @@ impl CertifiedGap {
         } else {
             f64::INFINITY
         };
-        CertifiedGap { lower, upper, ratio, certifier: certifier.into() }
+        CertifiedGap {
+            lower,
+            upper,
+            ratio,
+            certifier: certifier.into(),
+        }
     }
 
     /// Whether the lower bound is non-trivial (positive, hence the ratio
@@ -458,7 +480,12 @@ impl Window {
         // Relative tolerance on the *totals* scale: class weights are
         // sums, so their fp drift scales with ‖w‖₁, not ‖w‖∞.
         let tol = 1e-9 * (1.0 + w_total);
-        Window { w_total, w_max, hi: avg + slack + tol, lo: avg - slack - tol }
+        Window {
+            w_total,
+            w_max,
+            hi: avg + slack + tol,
+            lo: avg - slack - tol,
+        }
     }
 
     /// Floor on the number of occupied (non-empty-weight) classes of any
@@ -487,7 +514,9 @@ impl Window {
         }
         let avg = self.w_total / k as f64;
         let m_lo = ((avg / self.w_max - 1e-6).ceil().max(1.0) as usize).min(n);
-        let others = ((self.w_total - self.hi) / self.w_max - 1e-6).ceil().max(0.0) as usize;
+        let others = ((self.w_total - self.hi) / self.w_max - 1e-6)
+            .ceil()
+            .max(0.0) as usize;
         let m_hi = n.saturating_sub(others);
         (m_lo <= m_hi).then_some((m_lo, m_hi))
     }

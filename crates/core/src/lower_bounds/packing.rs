@@ -117,11 +117,7 @@ fn integral_retained(items: &[(f64, f64)], cap: f64, budget: &mut u64) -> Option
 /// the integral masses dominate the fractional ones pointwise by
 /// construction, with the identical slack term (see the
 /// [module docs](self) for the soundness of the exhaustion fallback).
-pub(crate) fn vertex_masses(
-    inst: &Instance,
-    k: usize,
-    integral_budget: Option<u64>,
-) -> Vec<f64> {
+pub(crate) fn vertex_masses(inst: &Instance, k: usize, integral_budget: Option<u64>) -> Vec<f64> {
     let win = Window::new(inst, k);
     let g = inst.graph();
     let (costs, weights) = (inst.costs(), inst.weights());
@@ -201,7 +197,9 @@ impl LowerBound for PackingBound {
         Some(Certificate {
             certifier: self.name(),
             value: total / k as f64,
-            derivation: Derivation::Packing { per_vertex_total: total },
+            derivation: Derivation::Packing {
+                per_vertex_total: total,
+            },
         })
     }
 }
@@ -218,7 +216,9 @@ pub(crate) fn replay_packing(
     }
     let fresh = packing_total(inst, k);
     if (fresh - per_vertex_total).abs() > 1e-9 * (1.0 + per_vertex_total.abs()) {
-        return Err(format!("per-vertex total drifted: {per_vertex_total} vs {fresh}"));
+        return Err(format!(
+            "per-vertex total drifted: {per_vertex_total} vs {fresh}"
+        ));
     }
     Ok(fresh / k as f64)
 }
@@ -236,7 +236,9 @@ pub struct EdgePackingBound {
 
 impl Default for EdgePackingBound {
     fn default() -> Self {
-        EdgePackingBound { vertex_budget: PACK_VERTEX_BUDGET }
+        EdgePackingBound {
+            vertex_budget: PACK_VERTEX_BUDGET,
+        }
     }
 }
 
@@ -274,7 +276,9 @@ pub(crate) fn replay_edge_packing(
     }
     let fresh = edge_packing_total(inst, k, vertex_budget);
     if (fresh - per_vertex_total).abs() > 1e-9 * (1.0 + per_vertex_total.abs()) {
-        return Err(format!("per-vertex total drifted: {per_vertex_total} vs {fresh}"));
+        return Err(format!(
+            "per-vertex total drifted: {per_vertex_total} vs {fresh}"
+        ));
     }
     Ok(fresh / k as f64)
 }
@@ -420,7 +424,9 @@ pub(crate) fn replay_min_cut(
     }
     let priced = price_side(inst, side);
     if (priced - cut_cost).abs() > 1e-9 * (1.0 + cut_cost.abs()) {
-        return Err(format!("witness prices at {priced}, certificate says {cut_cost}"));
+        return Err(format!(
+            "witness prices at {priced}, certificate says {cut_cost}"
+        ));
     }
     // The witness only proves λ ≤ cut_cost; re-run the exact computation
     // so the replayed value is the bound itself.
@@ -456,8 +462,8 @@ mod tests {
 
     #[test]
     fn min_cut_of_a_path_is_the_cheapest_edge() {
-        let inst = Instance::new(path(7), vec![2.0, 5.0, 0.5, 3.0, 1.0, 4.0], vec![1.0; 7])
-            .unwrap();
+        let inst =
+            Instance::new(path(7), vec![2.0, 5.0, 0.5, 3.0, 1.0, 4.0], vec![1.0; 7]).unwrap();
         let cert = MinCutBound::default().certify(&inst, 2).unwrap();
         assert_eq!(cert.value, 0.5);
     }
@@ -558,7 +564,9 @@ mod tests {
         // bit-for-bit.
         let inst = unit(complete(4));
         let frac = PackingBound.certify(&inst, 4).unwrap();
-        let starved = EdgePackingBound { vertex_budget: 1 }.certify(&inst, 4).unwrap();
+        let starved = EdgePackingBound { vertex_budget: 1 }
+            .certify(&inst, 4)
+            .unwrap();
         assert_eq!(starved.value.to_bits(), frac.value.to_bits());
     }
 
@@ -571,10 +579,16 @@ mod tests {
         };
         assert_eq!(cut_cost, 2.0);
         // Swap in a side whose boundary prices at 4, not 2: caught.
-        let tampered = Derivation::MinCut { cut_cost, side: vec![0, 2] };
+        let tampered = Derivation::MinCut {
+            cut_cost,
+            side: vec![0, 2],
+        };
         assert!(tampered.replay(&inst, 2).is_err());
         // An empty (non-proper) witness is caught too.
-        let empty = Derivation::MinCut { cut_cost, side: vec![] };
+        let empty = Derivation::MinCut {
+            cut_cost,
+            side: vec![],
+        };
         assert!(empty.replay(&inst, 2).is_err());
     }
 }

@@ -78,8 +78,11 @@ fn full_box_extents(gg: &GridGraph) -> Option<Vec<usize>> {
             maxs[a] = maxs[a].max(x);
         }
     }
-    let extents: Vec<usize> =
-        mins.iter().zip(&maxs).map(|(&lo, &hi)| (hi - lo + 1) as usize).collect();
+    let extents: Vec<usize> = mins
+        .iter()
+        .zip(&maxs)
+        .map(|(&lo, &hi)| (hi - lo + 1) as usize)
+        .collect();
     if extents.iter().product::<usize>() != n {
         return None;
     }
@@ -141,14 +144,23 @@ fn analyze(inst: &Instance, k: usize) -> Option<Analysis> {
             let extents = full_box_extents(gg)?;
             if extents.iter().all(|&e| e == 2) {
                 let d = extents.len();
-                let boundary_edges =
-                    min_over_sizes(size_range, |m| harper_boundary(d, m.min(n)));
-                Some(Analysis { family: "hypercube", extents, size_range, boundary_edges })
+                let boundary_edges = min_over_sizes(size_range, |m| harper_boundary(d, m.min(n)));
+                Some(Analysis {
+                    family: "hypercube",
+                    extents,
+                    size_range,
+                    boundary_edges,
+                })
             } else {
                 let boundary_edges = min_over_sizes(size_range, |m| {
                     projection_boundary(&extents, n, m.min(n), false)
                 });
-                Some(Analysis { family: "lattice", extents, size_range, boundary_edges })
+                Some(Analysis {
+                    family: "lattice",
+                    extents,
+                    size_range,
+                    boundary_edges,
+                })
             }
         }
         Structure::Path { .. } | Structure::Forest => {
@@ -170,7 +182,12 @@ fn analyze(inst: &Instance, k: usize) -> Option<Analysis> {
             let boundary_edges = min_over_sizes(size_range, |m| {
                 projection_boundary(&extents, n, m.min(n), true)
             });
-            Some(Analysis { family: "torus", extents, size_range, boundary_edges })
+            Some(Analysis {
+                family: "torus",
+                extents,
+                size_range,
+                boundary_edges,
+            })
         }
     }
 }
@@ -210,13 +227,19 @@ pub(crate) fn replay_structure(
 ) -> Result<f64, String> {
     let a = analyze(inst, k).ok_or("structural analysis no longer applies")?;
     if a.family != family {
-        return Err(format!("family: derived {family}, replay found {}", a.family));
+        return Err(format!(
+            "family: derived {family}, replay found {}",
+            a.family
+        ));
     }
     if a.extents != extents {
         return Err(format!("extents drifted: {extents:?} vs {:?}", a.extents));
     }
     if a.size_range != size_range {
-        return Err(format!("size range drifted: {size_range:?} vs {:?}", a.size_range));
+        return Err(format!(
+            "size range drifted: {size_range:?} vs {:?}",
+            a.size_range
+        ));
     }
     if a.boundary_edges != boundary_edges {
         return Err(format!(
@@ -254,7 +277,9 @@ mod tests {
         let opt = crate::oracle::exact_min_max_boundary(&inst, 2).unwrap();
         assert_eq!(opt.max_boundary, cert.value);
         match &cert.derivation {
-            Derivation::Structure { family, extents, .. } => {
+            Derivation::Structure {
+                family, extents, ..
+            } => {
                 assert_eq!(*family, "hypercube");
                 assert_eq!(extents, &[2, 2, 2]);
             }
@@ -295,20 +320,31 @@ mod tests {
             d => panic!("wrong derivation {d:?}"),
         }
         let opt = crate::oracle::exact_min_max_boundary(&inst, 2).unwrap();
-        assert!(cert.value <= opt.max_boundary + 1e-9, "{} vs oracle {}", cert.value, opt.max_boundary);
+        assert!(
+            cert.value <= opt.max_boundary + 1e-9,
+            "{} vs oracle {}",
+            cert.value,
+            opt.max_boundary
+        );
     }
 
     #[test]
     fn trees_and_paths_get_the_cheapest_edge() {
-        let inst =
-            Instance::new(path(9), vec![2.0, 0.5, 1.0, 3.0, 1.0, 1.0, 9.0, 2.0], vec![1.0; 9])
-                .unwrap();
+        let inst = Instance::new(
+            path(9),
+            vec![2.0, 0.5, 1.0, 3.0, 1.0, 1.0, 9.0, 2.0],
+            vec![1.0; 9],
+        )
+        .unwrap();
         let cert = StructureBound.certify(&inst, 2).unwrap();
         assert_eq!(cert.value, 0.5);
         let tree = unit(random_tree(12, 3, 7));
         let cert = StructureBound.certify(&tree, 3).unwrap();
         assert_eq!(cert.value, 1.0);
-        assert!(matches!(cert.derivation, Derivation::Structure { family: "tree", .. }));
+        assert!(matches!(
+            cert.derivation,
+            Derivation::Structure { family: "tree", .. }
+        ));
     }
 
     #[test]
@@ -328,7 +364,10 @@ mod tests {
             // family (possible if percolation kept everything).
             assert!(matches!(
                 c.derivation,
-                Derivation::Structure { family: "lattice" | "hypercube", .. }
+                Derivation::Structure {
+                    family: "lattice" | "hypercube",
+                    ..
+                }
             ));
             assert_eq!(n, 36, "a non-full blob must be refused");
         }

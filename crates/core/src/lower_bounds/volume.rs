@@ -89,10 +89,14 @@ pub(crate) fn replay_volume(
     }
     let (r, t) = required_cut_edges(inst, k);
     if r != required {
-        return Err(format!("required cut edges: derived {required}, replay found {r}"));
+        return Err(format!(
+            "required cut edges: derived {required}, replay found {r}"
+        ));
     }
     if t != components {
-        return Err(format!("components: derived {components}, replay found {t}"));
+        return Err(format!(
+            "components: derived {components}, replay found {t}"
+        ));
     }
     let fresh = cheapest_costs(inst, r);
     if fresh != cheapest {
@@ -116,7 +120,10 @@ pub struct DisconnectedBound {
 
 impl Default for DisconnectedBound {
     fn default() -> Self {
-        DisconnectedBound { max_components: 24, node_budget: 2_000_000 }
+        DisconnectedBound {
+            max_components: 24,
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -241,7 +248,10 @@ pub(crate) fn replay_disconnected(
 ) -> Result<f64, String> {
     let cw = component_weights(inst);
     if cw.len() != components {
-        return Err(format!("components: derived {components}, replay found {}", cw.len()));
+        return Err(format!(
+            "components: derived {components}, replay found {}",
+            cw.len()
+        ));
     }
     let fresh_min = min_edge_cost(inst);
     if fresh_min != min_cost {
@@ -284,7 +294,11 @@ mod tests {
         let cert = VolumeBound.certify(&inst, 2).unwrap();
         assert_eq!(cert.value, 0.25); // 2 · 0.25 / 2
         match &cert.derivation {
-            Derivation::Volume { required_cut_edges, components, cheapest } => {
+            Derivation::Volume {
+                required_cut_edges,
+                components,
+                cheapest,
+            } => {
                 assert_eq!(*required_cut_edges, 1);
                 assert_eq!(*components, 1);
                 assert_eq!(cheapest, &[0.25]);
@@ -302,7 +316,9 @@ mod tests {
             edges.push((u, v));
             edges.push((u + 4, v + 4));
         }
-        let cert = VolumeBound.certify(&unit(graph_from_edges(8, &edges)), 2).unwrap();
+        let cert = VolumeBound
+            .certify(&unit(graph_from_edges(8, &edges)), 2)
+            .unwrap();
         assert_eq!(cert.value, 0.0);
     }
 
@@ -328,7 +344,10 @@ mod tests {
         let skewed = unit(graph_from_edges(8, &edges));
         let cert = DisconnectedBound::default().certify(&skewed, 2).unwrap();
         assert_eq!(cert.value, 1.0); // 2 · 1 / 2
-        assert!(matches!(cert.derivation, Derivation::Disconnected { components: 2, .. }));
+        assert!(matches!(
+            cert.derivation,
+            Derivation::Disconnected { components: 2, .. }
+        ));
         // And the oracle agrees the optimum is positive here.
         let opt = crate::oracle::exact_min_max_boundary(&skewed, 2).unwrap();
         assert!(opt.max_boundary >= cert.value - 1e-12);

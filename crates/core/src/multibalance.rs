@@ -57,8 +57,15 @@ pub fn multibalance_ws<S: Splitter + ?Sized>(
     // balance in measures[j] while keeping measures[j+1..] balanced.
     for j in (0..measures.len()).rev() {
         let suffix = &measures[j..];
-        let (next, _) =
-            rebalance_ws(splitter, &chi, domain, suffix, heavy_factor(suffix.len()), None, ws);
+        let (next, _) = rebalance_ws(
+            splitter,
+            &chi,
+            domain,
+            suffix,
+            heavy_factor(suffix.len()),
+            None,
+            ws,
+        );
         chi = next;
     }
     chi
@@ -189,7 +196,11 @@ pub fn multibalance_minmax_with_pi_ws<S: Splitter + ?Sized>(
         Some(&mut hook as &mut ScratchDynamicMeasureFn<'_>),
         ws,
     );
-    MinMaxBalanced { coloring, intermediate: chi, stats }
+    MinMaxBalanced {
+        coloring,
+        intermediate: chi,
+        stats,
+    }
 }
 
 #[cfg(test)]

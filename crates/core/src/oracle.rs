@@ -60,16 +60,16 @@ pub struct OracleSolution {
 /// [`crate::bnb`] fallback that has no such cap) and `k = 0`
 /// ([`SolveError::ZeroColors`]). Deterministic: same instance, same `k`,
 /// same coloring out.
-pub fn exact_min_max_boundary(
-    inst: &Instance,
-    k: usize,
-) -> Result<OracleSolution, SolveError> {
+pub fn exact_min_max_boundary(inst: &Instance, k: usize) -> Result<OracleSolution, SolveError> {
     let n = inst.num_vertices();
     if k == 0 {
         return Err(SolveError::ZeroColors);
     }
     if n > ORACLE_MAX_VERTICES {
-        return Err(SolveError::OracleTooLarge { n, limit: ORACLE_MAX_VERTICES });
+        return Err(SolveError::OracleTooLarge {
+            n,
+            limit: ORACLE_MAX_VERTICES,
+        });
     }
     let sol = crate::bnb::solve(inst, k, &BnbConfig::exhaustive())?;
     debug_assert!(sol.proven_optimal, "exhaustive search cannot truncate");
@@ -164,8 +164,7 @@ mod tests {
         // {0},{1,2,3}? class {0}=3, {1,2,3}=5, avg 4, slack 1.5 → dev 1
         // each, feasible, cutting only the cheap edge 0-1.
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let inst =
-            Instance::new(g, vec![1.0, 10.0, 1.0], vec![3.0, 1.0, 1.0, 3.0]).unwrap();
+        let inst = Instance::new(g, vec![1.0, 10.0, 1.0], vec![3.0, 1.0, 1.0, 3.0]).unwrap();
         let s = exact_min_max_boundary(&inst, 2).unwrap();
         assert_eq!(s.max_boundary, 1.0);
     }
@@ -187,10 +186,12 @@ mod tests {
         // Oracle ≤ pipeline on a batch of small random-ish instances.
         for seed in 0..6u64 {
             let g = mmb_graph::gen::tree::random_tree(9, 3, seed);
-            let costs: Vec<f64> =
-                (0..g.num_edges()).map(|e| 1.0 + ((e as u64 ^ seed) % 5) as f64).collect();
-            let weights: Vec<f64> =
-                (0..9).map(|v| 1.0 + ((v as u64 + seed) % 3) as f64).collect();
+            let costs: Vec<f64> = (0..g.num_edges())
+                .map(|e| 1.0 + ((e as u64 ^ seed) % 5) as f64)
+                .collect();
+            let weights: Vec<f64> = (0..9)
+                .map(|v| 1.0 + ((v as u64 + seed) % 3) as f64)
+                .collect();
             let inst = Instance::new(g, costs, weights).unwrap();
             for k in [2usize, 3] {
                 let s = exact_min_max_boundary(&inst, k).unwrap();
@@ -216,7 +217,10 @@ mod tests {
         let big = unit_instance(path(ORACLE_MAX_VERTICES + 1));
         assert_eq!(
             exact_min_max_boundary(&big, 2).unwrap_err(),
-            SolveError::OracleTooLarge { n: ORACLE_MAX_VERTICES + 1, limit: ORACLE_MAX_VERTICES }
+            SolveError::OracleTooLarge {
+                n: ORACLE_MAX_VERTICES + 1,
+                limit: ORACLE_MAX_VERTICES
+            }
         );
         // As a Partitioner, the same contract.
         assert!(ExactOracle.partition(&big, 2).is_err());

@@ -76,7 +76,10 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// Config with a given `p`.
     pub fn with_p(p: f64) -> Self {
-        Self { p, ..Self::default() }
+        Self {
+            p,
+            ..Self::default()
+        }
     }
 }
 
@@ -158,7 +161,13 @@ mod tests {
         let weights: Vec<f64> = (0..n).map(|v| 1.0 + ((v * 31) % 5) as f64).collect();
         for k in [2usize, 3, 8] {
             let d = decompose(
-                &grid.graph, &costs, &weights, k, &sp, &[], &PipelineConfig::with_p(2.0),
+                &grid.graph,
+                &costs,
+                &weights,
+                k,
+                &sp,
+                &[],
+                &PipelineConfig::with_p(2.0),
             )
             .unwrap();
             assert!(d.coloring.is_total());
@@ -224,7 +233,13 @@ mod tests {
         let sp = GridSplitter::new(&grid, &costs);
         let weights = vec![1.0; 9];
         let d = decompose(
-            &grid.graph, &costs, &weights, 20, &sp, &[], &PipelineConfig::default(),
+            &grid.graph,
+            &costs,
+            &weights,
+            20,
+            &sp,
+            &[],
+            &PipelineConfig::default(),
         )
         .unwrap();
         assert!(d.coloring.is_total());
@@ -242,12 +257,22 @@ mod tests {
         let mem: Vec<f64> = (0..n as u32)
             .map(|v| {
                 let c = grid.coord(v);
-                if c[0] < 4 && c[1] < 4 { 8.0 } else { 0.25 }
+                if c[0] < 4 && c[1] < 4 {
+                    8.0
+                } else {
+                    0.25
+                }
             })
             .collect();
         let k = 8;
         let d = decompose(
-            &grid.graph, &costs, &weights, k, &sp, &[&mem], &PipelineConfig::default(),
+            &grid.graph,
+            &costs,
+            &weights,
+            k,
+            &sp,
+            &[&mem],
+            &PipelineConfig::default(),
         )
         .unwrap();
         assert!(d.coloring.is_strictly_balanced(&weights));
@@ -268,7 +293,10 @@ mod tests {
         let costs = vec![1.0; grid.graph.num_edges()];
         let sp = GridSplitter::new(&grid, &costs);
         let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 2) as f64).collect();
-        let cfg = PipelineConfig { skip_shrink: true, ..PipelineConfig::default() };
+        let cfg = PipelineConfig {
+            skip_shrink: true,
+            ..PipelineConfig::default()
+        };
         let d = decompose(&grid.graph, &costs, &weights, 6, &sp, &[], &cfg).unwrap();
         assert!(d.coloring.is_strictly_balanced(&weights));
     }
@@ -279,13 +307,22 @@ mod tests {
         // splitter produce the identical coloring.
         let grid = GridGraph::lattice(&[10, 10]);
         let n = grid.graph.num_vertices();
-        let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
+        let costs: Vec<f64> = (0..grid.graph.num_edges())
+            .map(|e| 1.0 + (e % 3) as f64)
+            .collect();
         let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 4) as f64).collect();
         let sp = GridSplitter::new(&grid, &costs);
-        let d = decompose(&grid.graph, &costs, &weights, 6, &sp, &[], &PipelineConfig::default())
-            .unwrap();
-        let inst =
-            Instance::from_grid(grid.clone(), costs.clone(), weights.clone()).unwrap();
+        let d = decompose(
+            &grid.graph,
+            &costs,
+            &weights,
+            6,
+            &sp,
+            &[],
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        let inst = Instance::from_grid(grid.clone(), costs.clone(), weights.clone()).unwrap();
         let solver = Solver::for_instance(&inst).classes(6).build().unwrap();
         assert_eq!(solver.solve().coloring, d.coloring);
     }

@@ -86,7 +86,9 @@ pub fn rebalance<S: Splitter + ?Sized>(
             domain,
             measures,
             heavy_factor,
-            adapted.as_mut().map(|f| f as &mut ScratchDynamicMeasureFn<'_>),
+            adapted
+                .as_mut()
+                .map(|f| f as &mut ScratchDynamicMeasureFn<'_>),
             ws,
         )
     })
@@ -171,8 +173,8 @@ pub fn rebalance_ws<S: Splitter + ?Sized>(
             finish(i, &tent[iu], &mut chi_hat);
             continue;
         }
-        let x1 = light.pop().unwrap();
-        let x2 = light.pop().unwrap();
+        let x1 = light.pop().expect("light.len() >= 2 checked above");
+        let x2 = light.pop().expect("light.len() >= 2 checked above");
         stats.moves += 1;
 
         let x_members = std::mem::take(&mut tent[iu]);
@@ -226,7 +228,11 @@ pub fn rebalance_ws<S: Splitter + ?Sized>(
             finish(i as u32, members, &mut chi_hat);
         }
     }
-    debug_assert_eq!(chi_hat.num_colored(), domain.len(), "classes must partition the domain");
+    debug_assert_eq!(
+        chi_hat.num_colored(),
+        domain.len(),
+        "classes must partition the domain"
+    );
     (chi_hat, stats)
 }
 

@@ -54,7 +54,11 @@ pub struct ShrinkParams {
 
 impl Default for ShrinkParams {
     fn default() -> Self {
-        Self { epsilon: 0.25, weak_factor: 16.0, max_depth: 512 }
+        Self {
+            epsilon: 0.25,
+            weak_factor: 16.0,
+            max_depth: 512,
+        }
     }
 }
 
@@ -98,7 +102,10 @@ pub fn extract_lean<S: Splitter + ?Sized>(
     lo: f64,
 ) -> VertexSet {
     let parts = iterative_partition(splitter, u_set, psi, lo);
-    let totals: Vec<f64> = protected.iter().map(|m| set_sum(m, u_set).max(1e-300)).collect();
+    let totals: Vec<f64> = protected
+        .iter()
+        .map(|m| set_sum(m, u_set).max(1e-300))
+        .collect();
     parts
         .into_iter()
         .min_by(|a, b| {
@@ -109,7 +116,9 @@ pub fn extract_lean<S: Splitter + ?Sized>(
                     .map(|(m, t)| set_sum(m, x) / t)
                     .sum::<f64>()
             };
-            score(a).partial_cmp(&score(b)).unwrap()
+            // total_cmp; min_by is first-wins, so ties keep the earliest
+            // part in `parts`' deterministic construction order.
+            score(a).total_cmp(&score(b))
         })
         .unwrap_or_else(|| VertexSet::empty(u_set.universe()))
 }
@@ -132,9 +141,10 @@ pub fn extract_rich<S: Splitter + ?Sized>(
     // Union of the per-measure argmax parts.
     let mut x = VertexSet::empty(u_set.universe());
     for m in protected {
-        if let Some(best) = parts.iter().max_by(|a, b| {
-            set_sum(m, a).partial_cmp(&set_sum(m, b)).unwrap()
-        }) {
+        if let Some(best) = parts
+            .iter()
+            .max_by(|a, b| set_sum(m, a).total_cmp(&set_sum(m, b)))
+        {
             x.union_with(best);
         }
     }
@@ -240,7 +250,13 @@ pub fn shrink_ws<S: Splitter + ?Sized>(
         } else {
             let donor = (0..k)
                 .filter(|&j| j != i && class_w(&classes[j]) >= psi_star / 2.0)
-                .max_by(|&a, &b| class_w(&classes[a]).partial_cmp(&class_w(&classes[b])).unwrap());
+                // total_cmp + index tie-break: max_by is last-wins, so
+                // `then(b.cmp(&a))` pins ties to the lowest donor index.
+                .max_by(|&a, &b| {
+                    class_w(&classes[a])
+                        .total_cmp(&class_w(&classes[b]))
+                        .then(b.cmp(&a))
+                });
             let Some(j) = donor else { continue };
             let bm = boundary_measure_ws(g, costs, &classes[j], ws);
             let protected: [&[f64]; 3] = [pi, deg_w, bm.as_slice()];
@@ -256,9 +272,10 @@ pub fn shrink_ws<S: Splitter + ?Sized>(
 
     // ReduceBuffer: park leftovers on the lightest classes.
     while let Some(x) = buffer.pop() {
+        // min_by is first-wins on ties → lowest-indexed lightest class.
         let i = (0..k)
-            .min_by(|&a, &b| class_w(&classes[a]).partial_cmp(&class_w(&classes[b])).unwrap())
-            .unwrap();
+            .min_by(|&a, &b| class_w(&classes[a]).total_cmp(&class_w(&classes[b])))
+            .expect("k >= 1 classes");
         classes[i].union_with(&x);
     }
 
@@ -354,23 +371,57 @@ fn almost_strict_rec<S: Splitter + ?Sized>(
     // machinery needs pieces of weight ε·Ψ* ≥ 2‖w‖∞ to exist).
     if wmax > params.epsilon / 2.0 * psi_star || depth >= params.max_depth {
         let w1 = vec![0.0; k];
-        return binpack1(g, costs, splitter, &chi.restrict_to(domain), domain, weights, &w1, wmax);
+        return binpack1(
+            g,
+            costs,
+            splitter,
+            &chi.restrict_to(domain),
+            domain,
+            weights,
+            &w1,
+            wmax,
+        );
     }
 
     let sh = shrink_ws(g, costs, splitter, chi, domain, weights, p, params, ws);
     if sh.w1.len() >= domain.len() || sh.w0.is_empty() {
         // Defensive: shrink made no progress; fall back to direct packing.
         let w1 = vec![0.0; k];
-        return binpack1(g, costs, splitter, &chi.restrict_to(domain), domain, weights, &w1, wmax);
+        return binpack1(
+            g,
+            costs,
+            splitter,
+            &chi.restrict_to(domain),
+            domain,
+            weights,
+            &w1,
+            wmax,
+        );
     }
 
     let chi1_hat = almost_strict_rec(
-        g, costs, splitter, &sh.chi1, &sh.w1, weights, p, params, depth + 1, ws,
+        g,
+        costs,
+        splitter,
+        &sh.chi1,
+        &sh.w1,
+        weights,
+        p,
+        params,
+        depth + 1,
+        ws,
     );
     // Conquer (Lemma 15): re-pack χ₀ so that χ̃₀ ⊕ χ̂₁ is almost strict.
     let w1_weights = chi1_hat.class_measures(weights);
     let chi0_tilde = binpack1(
-        g, costs, splitter, &sh.chi0, &sh.w0, weights, &w1_weights, wmax,
+        g,
+        costs,
+        splitter,
+        &sh.chi0,
+        &sh.w0,
+        weights,
+        &w1_weights,
+        wmax,
     );
     chi0_tilde.direct_sum(&chi1_hat)
 }
@@ -431,7 +482,10 @@ mod tests {
         // The lean piece must dodge the hot column: far below its
         // proportional share would be 12/144 ≈ 8.3%… require ≤ one part's
         // worth of slack.
-        assert!(frac <= 0.34, "lean extraction took {frac} of the hot measure");
+        assert!(
+            frac <= 0.34,
+            "lean extraction took {frac} of the hot measure"
+        );
         let w = set_sum(&psi, &x);
         assert!((12.0..=36.0 + 1e-9).contains(&w));
     }
@@ -474,7 +528,16 @@ mod tests {
             _ => 3,
         });
         let params = ShrinkParams::default();
-        let out = shrink(&grid.graph, &costs, &sp, &chi, &domain, &weights, 2.0, &params);
+        let out = shrink(
+            &grid.graph,
+            &costs,
+            &sp,
+            &chi,
+            &domain,
+            &weights,
+            2.0,
+            &params,
+        );
         // W₀/W₁ partition the domain.
         assert!(out.w0.is_disjoint(&out.w1));
         assert_eq!(out.w0.union(&out.w1), domain);
@@ -514,7 +577,13 @@ mod tests {
             _ => 3,
         });
         let out = almost_strict(
-            &grid.graph, &costs, &sp, &chi, &domain, &weights, 2.0,
+            &grid.graph,
+            &costs,
+            &sp,
+            &chi,
+            &domain,
+            &weights,
+            2.0,
             &ShrinkParams::default(),
         );
         assert!(out.is_total_on(&domain));
@@ -538,7 +607,13 @@ mod tests {
         let chi = Coloring::monochromatic(16, 2);
         let weights = vec![0.0; 16];
         let out = almost_strict(
-            &grid.graph, &costs, &sp, &chi, &domain, &weights, 2.0,
+            &grid.graph,
+            &costs,
+            &sp,
+            &chi,
+            &domain,
+            &weights,
+            2.0,
             &ShrinkParams::default(),
         );
         assert!(out.is_total_on(&domain));

@@ -76,7 +76,9 @@ pub fn greedy_strict(n: usize, k: usize, domain: &VertexSet, weights: &[f64]) ->
     // finite input (subnormals, negative zeros) — and on any future path
     // that forgets to validate.
     order.sort_by(|&a, &b| {
-        weights[b as usize].total_cmp(&weights[a as usize]).then(a.cmp(&b))
+        weights[b as usize]
+            .total_cmp(&weights[a as usize])
+            .then(a.cmp(&b))
     });
     let mut out = Coloring::new_uncolored(n, k);
     let mut load = vec![0.0f64; k];
@@ -123,8 +125,10 @@ pub fn binpack2<S: Splitter + ?Sized>(
     // Step 2: cut every class down to ≤ w*. Classes are carved
     // independently (the buffer only collects), so [`carve_classes`] fans
     // the cut-down out per class.
-    let (mut classes, mut buffer) =
-        carve_classes(chi.class_sets_within(domain), domain.len(), |mut class: VertexSet| {
+    let (mut classes, mut buffer) = carve_classes(
+        chi.class_sets_within(domain),
+        domain.len(),
+        |mut class: VertexSet| {
             let mut pieces = Vec::new();
             while cw(&class) > w_star + 1e-12 * total && !class.is_empty() {
                 let x = carve_piece(g, splitter, &class, weights, wmax);
@@ -133,7 +137,8 @@ pub fn binpack2<S: Splitter + ?Sized>(
                 pieces.push(x);
             }
             (class, pieces)
-        });
+        },
+    );
 
     // Step 3: refill classes below the strict lower envelope. The
     // averaging argument (see module docs) guarantees the buffer cannot be
@@ -141,7 +146,10 @@ pub fn binpack2<S: Splitter + ?Sized>(
     let lower = w_star - (1.0 - 1.0 / k as f64) * wmax;
     while let Some(i) = (0..k).find(|&i| cw(&classes[i]) < lower - 1e-12 * (1.0 + total)) {
         let Some(x) = buffer.pop() else {
-            debug_assert!(false, "BinPack2 invariant violated: empty buffer with light class");
+            debug_assert!(
+                false,
+                "BinPack2 invariant violated: empty buffer with light class"
+            );
             break;
         };
         classes[i].union_with(&x);
@@ -314,7 +322,10 @@ mod tests {
         for k in [2usize, 3, 5] {
             let greedy_a = greedy_strict(n, k, &domain, &weights);
             let greedy_b = greedy_strict(n, k, &domain, &weights);
-            assert_eq!(greedy_a, greedy_b, "greedy_strict nondeterministic at k={k}");
+            assert_eq!(
+                greedy_a, greedy_b,
+                "greedy_strict nondeterministic at k={k}"
+            );
             assert!(greedy_a.is_strictly_balanced(&weights), "k={k}");
             let chi = Coloring::monochromatic(n, k);
             let out_a = binpack2(&grid.graph, &sp, &chi, &domain, &weights);

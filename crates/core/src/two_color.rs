@@ -33,7 +33,10 @@ impl TwoColoring {
 
     /// Swap the two class labels.
     pub fn swapped(self) -> Self {
-        TwoColoring { class1: self.class2, class2: self.class1 }
+        TwoColoring {
+            class1: self.class2,
+            class2: self.class1,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn two_color<S: Splitter + ?Sized>(
     let u2 = w_set.difference(&u1);
 
     if r == 1 {
-        return TwoColoring { class1: u1, class2: u2 };
+        return TwoColoring {
+            class1: u1,
+            class2: u2,
+        };
     }
 
     // Recurse with the remaining measures, then enforce inequality (5):
@@ -82,7 +88,7 @@ pub fn two_color<S: Splitter + ?Sized>(
 mod tests {
     use super::*;
     use mmb_graph::gen::grid::GridGraph;
-    use mmb_graph::measure::{set_max, norm_1};
+    use mmb_graph::measure::{norm_1, set_max};
     use mmb_splitters::grid::GridSplitter;
 
     /// Check the Lemma 8 class-measure guarantee for measure j (1-based).
@@ -112,7 +118,9 @@ mod tests {
         let w = VertexSet::full(n);
         let m1: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
         let m2: Vec<f64> = (0..n).map(|v| ((v * 7) % 5) as f64).collect();
-        let m3: Vec<f64> = (0..n).map(|v| if v % 10 == 0 { 5.0 } else { 0.5 }).collect();
+        let m3: Vec<f64> = (0..n)
+            .map(|v| if v % 10 == 0 { 5.0 } else { 0.5 })
+            .collect();
         let measures: Vec<&[f64]> = vec![&m1, &m2, &m3];
         let chi = two_color(&sp, &w, &measures);
         let r = 3;
@@ -121,8 +129,20 @@ mod tests {
             let mmax = set_max(m, &w);
             let bound = lemma8_bound(total, mmax, r, j + 1);
             let (c1, c2) = chi.class_measures(m);
-            assert!(c1 <= bound + 1e-9, "measure {} class1 {} > bound {}", j + 1, c1, bound);
-            assert!(c2 <= bound + 1e-9, "measure {} class2 {} > bound {}", j + 1, c2, bound);
+            assert!(
+                c1 <= bound + 1e-9,
+                "measure {} class1 {} > bound {}",
+                j + 1,
+                c1,
+                bound
+            );
+            assert!(
+                c2 <= bound + 1e-9,
+                "measure {} class2 {} > bound {}",
+                j + 1,
+                c2,
+                bound
+            );
         }
     }
 

@@ -44,14 +44,20 @@ impl Coloring {
     pub fn new_uncolored(n: usize, k: usize) -> Self {
         assert!(k >= 1, "need at least one color");
         assert!(k <= u32::MAX as usize, "k exceeds u32 range");
-        Self { k, color: vec![UNCOLORED; n] }
+        Self {
+            k,
+            color: vec![UNCOLORED; n],
+        }
     }
 
     /// Coloring that puts every vertex in class 0 (the trivial coloring used
     /// as the induction base of Lemma 6).
     pub fn monochromatic(n: usize, k: usize) -> Self {
         assert!(k >= 1, "need at least one color");
-        Self { k, color: vec![0; n] }
+        Self {
+            k,
+            color: vec![0; n],
+        }
     }
 
     /// Build from an explicit color vector (`UNCOLORED` allowed).
@@ -193,7 +199,11 @@ impl Coloring {
     /// them is colored) contributes its cost to the boundary of each colored
     /// endpoint's class. `O(m)`.
     pub fn boundary_costs(&self, g: &Graph, costs: &[f64]) -> Vec<f64> {
-        assert_eq!(g.num_vertices(), self.color.len(), "graph/coloring mismatch");
+        assert_eq!(
+            g.num_vertices(),
+            self.color.len(),
+            "graph/coloring mismatch"
+        );
         assert_eq!(g.num_edges(), costs.len(), "cost vector length mismatch");
         let mut out = vec![0.0; self.k];
         for (e, &(u, v)) in g.edge_list().iter().enumerate() {

@@ -28,12 +28,7 @@ pub fn boundary_cost(g: &Graph, costs: &[f64], u_set: &VertexSet) -> f64 {
 /// total cost of edges with one endpoint in `U` and the other in `W \ U`.
 ///
 /// `U` need not be a subset of `W`; only its members inside `W` contribute.
-pub fn boundary_cost_within(
-    g: &Graph,
-    costs: &[f64],
-    w_set: &VertexSet,
-    u_set: &VertexSet,
-) -> f64 {
+pub fn boundary_cost_within(g: &Graph, costs: &[f64], w_set: &VertexSet, u_set: &VertexSet) -> f64 {
     let mut s = 0.0;
     for v in u_set.iter() {
         if !w_set.contains(v) {

@@ -62,13 +62,21 @@ pub fn planted_partition(
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in u + 1..n {
-            let p = if communities[u] == communities[v] { p_in } else { p_out };
+            let p = if communities[u] == communities[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.random::<f64>() < p {
                 b.add_edge(u as u32, v as u32);
             }
         }
     }
-    PlantedPartition { graph: b.build(), communities, groups }
+    PlantedPartition {
+        graph: b.build(),
+        communities,
+        groups,
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ pub struct GeometricGraph {
 /// Panics if `n == 0` or `radius` is not positive and finite.
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
     assert!(n >= 1, "need at least one point");
-    assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+    assert!(
+        radius > 0.0 && radius.is_finite(),
+        "radius must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x2545F4914F6CDD1D);
     let points: Vec<[f64; 2]> = (0..n)
         .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
@@ -47,7 +50,11 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
             }
         }
     }
-    GeometricGraph { graph: b.build(), points, radius }
+    GeometricGraph {
+        graph: b.build(),
+        points,
+        radius,
+    }
 }
 
 #[cfg(test)]

@@ -53,7 +53,11 @@ impl GridGraph {
     /// graph defining property, Section 6).
     pub fn from_graph_coords(graph: Graph, dim: usize, coords: Vec<i64>) -> Self {
         assert!(dim >= 1, "dimension must be at least 1");
-        assert_eq!(coords.len(), graph.num_vertices() * dim, "coordinate length mismatch");
+        assert_eq!(
+            coords.len(),
+            graph.num_vertices() * dim,
+            "coordinate length mismatch"
+        );
         let grid = GridGraph { graph, dim, coords };
         for &(u, v) in grid.graph.edge_list() {
             let dist: i64 = grid
@@ -100,7 +104,11 @@ impl GridGraph {
             }
         }
         let coords = unique.iter().flat_map(|p| p.iter().copied()).collect();
-        GridGraph { graph: builder.build(), dim, coords }
+        GridGraph {
+            graph: builder.build(),
+            dim,
+            coords,
+        }
     }
 
     /// The full lattice `[0, dims[0]) × … × [0, dims[d−1])`.
@@ -160,7 +168,9 @@ impl GridGraph {
         for &c in &comp {
             sizes[c as usize] += 1;
         }
-        let best = (0..count).max_by_key(|&i| sizes[i]).unwrap() as u32;
+        let best = (0..count)
+            .max_by_key(|&i| sizes[i])
+            .expect("count >= 2 components in this branch") as u32;
         let pts: Vec<Vec<i64>> = sub
             .graph
             .vertices()
@@ -181,7 +191,11 @@ impl GridGraph {
             .vertices()
             .map(|v| base.coord(v)[0])
             .fold((i64::MAX, i64::MIN), |(lo, hi), x| (lo.min(x), hi.max(x)));
-        let width = if base.graph.num_vertices() == 0 { 0 } else { span.1 - span.0 + 1 };
+        let width = if base.graph.num_vertices() == 0 {
+            0
+        } else {
+            span.1 - span.0 + 1
+        };
         let stride = width + 2;
         let mut points = Vec::with_capacity(base.graph.num_vertices() * copies);
         for i in 0..copies {
@@ -200,21 +214,26 @@ impl GridGraph {
     pub fn random_blob(dim: usize, n: usize, seed: u64) -> Self {
         assert!(dim >= 1 && n >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut set: HashMap<Vec<i64>, ()> = HashMap::new();
+        // Membership is hashed, but the returned point list is the
+        // insertion-order `points` Vec: vertex ids depend only on the seed,
+        // never on `HashMap` iteration order (which varies run-to-run).
+        let mut seen: HashMap<Vec<i64>, ()> = HashMap::new();
+        let mut points: Vec<Vec<i64>> = vec![vec![0; dim]];
         let mut frontier: Vec<Vec<i64>> = vec![vec![0; dim]];
-        set.insert(vec![0; dim], ());
-        while set.len() < n && !frontier.is_empty() {
+        seen.insert(vec![0; dim], ());
+        while points.len() < n && !frontier.is_empty() {
             let idx = rng.random_range(0..frontier.len());
             let base = frontier[idx].clone();
             let axis = rng.random_range(0..dim);
             let dir = if rng.random::<bool>() { 1 } else { -1 };
             let mut p = base;
             p[axis] += dir;
-            if set.insert(p.clone(), ()).is_none() {
+            if seen.insert(p.clone(), ()).is_none() {
+                points.push(p.clone());
                 frontier.push(p);
             }
         }
-        GridGraph::from_points(dim, set.into_keys().collect())
+        GridGraph::from_points(dim, points)
     }
 }
 
@@ -288,5 +307,28 @@ mod tests {
         assert_eq!(g.graph.num_vertices(), 200);
         assert!(g.graph.is_connected());
         assert!(g.graph.max_degree() <= 6);
+    }
+
+    #[test]
+    fn random_blob_is_seed_deterministic() {
+        // Regression: vertex ids used to come from `HashMap::into_keys`,
+        // whose order differs between two maps even in one process — so the
+        // same seed produced different numberings. Ids must now be a pure
+        // function of the seed: identical coords AND identical edge lists.
+        let a = GridGraph::random_blob(2, 150, 42);
+        let b = GridGraph::random_blob(2, 150, 42);
+        assert_eq!(a.graph.num_vertices(), b.graph.num_vertices());
+        for v in a.graph.vertices() {
+            assert_eq!(a.coord(v), b.coord(v), "coords diverge at v={v}");
+            assert_eq!(
+                a.graph.neighbors(v),
+                b.graph.neighbors(v),
+                "adjacency diverges at v={v}"
+            );
+        }
+        // And a different seed actually produces a different blob.
+        let c = GridGraph::random_blob(2, 150, 43);
+        let same = a.graph.vertices().all(|v| a.coord(v) == c.coord(v));
+        assert!(!same, "seeds 42 and 43 produced identical blobs");
     }
 }

@@ -26,7 +26,10 @@ use crate::graph::{Graph, GraphBuilder};
 pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> Graph {
     assert!(k_half >= 1, "half-degree must be at least 1");
     assert!(n > 2 * k_half, "ring lattice needs n > 2·k_half");
-    assert!((0.0..=1.0).contains(&beta), "rewiring probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "rewiring probability out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E6C63D0876A9A47);
     let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(n * k_half);
     let key = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };

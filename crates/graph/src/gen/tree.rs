@@ -49,7 +49,10 @@ pub fn random_tree(n: usize, max_degree: usize, seed: u64) -> Graph {
         if deg[v as usize] < max_degree {
             open.push(v);
         }
-        assert!(!open.is_empty() || v as usize == n - 1, "ran out of attachment points");
+        assert!(
+            !open.is_empty() || v as usize == n - 1,
+            "ran out of attachment points"
+        );
     }
     b.build()
 }

@@ -91,7 +91,10 @@ impl Graph {
 
     /// Maximum degree `Δ(G)`.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(v as u32)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.degree(v as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The other endpoint of edge `e` as seen from `v`.
@@ -101,7 +104,10 @@ impl Graph {
     #[inline]
     pub fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
         let (a, b) = self.endpoints(e);
-        debug_assert!(v == a || v == b, "vertex {v} is not an endpoint of edge {e}");
+        debug_assert!(
+            v == a || v == b,
+            "vertex {v} is not an endpoint of edge {e}"
+        );
         if v == a {
             b
         } else {
@@ -112,8 +118,14 @@ impl Graph {
     /// Whether an edge joins `u` and `v`: binary search of the shorter
     /// adjacency list (`O(log Δ)`; adjacency is sorted by neighbor id).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a).binary_search_by_key(&b, |&(nb, _)| nb).is_ok()
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a)
+            .binary_search_by_key(&b, |&(nb, _)| nb)
+            .is_ok()
     }
 
     /// Connected components; returns a component id per vertex and the
@@ -161,7 +173,10 @@ impl GraphBuilder {
     /// Builder for a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
         assert!(n < u32::MAX as usize, "vertex count exceeds u32 id space");
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices configured so far.
@@ -228,7 +243,12 @@ impl GraphBuilder {
             let hi = adj_off[v + 1] as usize;
             adj[lo..hi].sort_unstable();
         }
-        Graph { n, adj_off, adj, edges: self.edges }
+        Graph {
+            n,
+            adj_off,
+            adj,
+            edges: self.edges,
+        }
     }
 }
 
@@ -310,7 +330,16 @@ mod tests {
         // A denser graph, inserted in two scrambled orders: edge ids follow
         // sorted (u, v) order and every adjacency list is sorted by
         // neighbor id — identical iteration order for both builds.
-        let edges = [(0u32, 3u32), (1, 4), (0, 1), (2, 3), (3, 4), (0, 4), (1, 2), (0, 2)];
+        let edges = [
+            (0u32, 3u32),
+            (1, 4),
+            (0, 1),
+            (2, 3),
+            (3, 4),
+            (0, 4),
+            (1, 2),
+            (0, 2),
+        ];
         let mut rev = edges;
         rev.reverse();
         let g1 = graph_from_edges(5, &edges);
@@ -325,7 +354,10 @@ mod tests {
         for v in g1.vertices() {
             assert_eq!(g1.neighbors(v), g2.neighbors(v));
             let ids: Vec<u32> = g1.neighbors(v).iter().map(|&(nb, _)| nb).collect();
-            assert!(ids.windows(2).all(|w| w[0] < w[1]), "adjacency of {v} not sorted: {ids:?}");
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "adjacency of {v} not sorted: {ids:?}"
+            );
             // The stored edge ids agree with the canonical endpoint list.
             for &(nb, e) in g1.neighbors(v) {
                 let (a, b) = g1.endpoints(e);

@@ -76,13 +76,19 @@ impl std::fmt::Display for MetisError {
             MetisError::EdgeCountMismatch { declared, found } => {
                 write!(f, "header declares {declared} edges, body has {found}")
             }
-            MetisError::AsymmetricAdjacency { listed_by, missing_from } => write!(
+            MetisError::AsymmetricAdjacency {
+                listed_by,
+                missing_from,
+            } => write!(
                 f,
                 "edge {listed_by}-{missing_from} is listed by vertex {listed_by} \
                  but missing from vertex {missing_from}'s line"
             ),
             MetisError::TrailingContent { line } => {
-                write!(f, "line {line}: unexpected content after the last vertex line")
+                write!(
+                    f,
+                    "line {line}: unexpected content after the last vertex line"
+                )
             }
         }
     }
@@ -137,7 +143,10 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
     let has_vweights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
     let has_eweights = fmt.as_bytes().last() == Some(&b'1');
     let ncon: usize = if has_vweights {
-        head.get(3).map(|s| parse_usize(s, hline)).transpose()?.unwrap_or(1)
+        head.get(3)
+            .map(|s| parse_usize(s, hline))
+            .transpose()?
+            .unwrap_or(1)
     } else {
         0
     };
@@ -247,6 +256,8 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
     // Every edge must have been listed from both endpoints; report the
     // smallest offending pair so the error is deterministic.
     let mut asym: Option<(u32, u32, [bool; 2])> = None;
+    // lint: allow(hash-order-leak) — min-reduction to the lexicographically
+    // smallest offending pair; the result is iteration-order independent.
     for (&(u, v), &(_, seen)) in &cost_map {
         if (!seen[0] || !seen[1]) && asym.is_none_or(|(au, av, _)| (u, v) < (au, av)) {
             asym = Some((u, v, seen));
@@ -260,7 +271,10 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
         });
     }
     if half_edges != 2 * m {
-        return Err(MetisError::EdgeCountMismatch { declared: m, found: half_edges / 2 });
+        return Err(MetisError::EdgeCountMismatch {
+            declared: m,
+            found: half_edges / 2,
+        });
     }
     let graph = builder.build();
     let costs = graph
@@ -268,7 +282,11 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
         .iter()
         .map(|&(u, v)| cost_map[&(u, v)].0)
         .collect();
-    Ok(MetisGraph { graph, weights, costs })
+    Ok(MetisGraph {
+        graph,
+        weights,
+        costs,
+    })
 }
 
 /// Serialize to METIS `.graph` format (always writes vertex and edge
@@ -292,11 +310,7 @@ pub fn write_metis(g: &Graph, weights: &[f64], costs: &[f64]) -> String {
 pub fn write_partition(chi: &Coloring) -> String {
     let mut out = String::new();
     for v in 0..chi.num_vertices() as u32 {
-        let _ = writeln!(
-            out,
-            "{}",
-            chi.get(v).map(|c| c as i64).unwrap_or(-1)
-        );
+        let _ = writeln!(out, "{}", chi.get(v).map(|c| c as i64).unwrap_or(-1));
     }
     out
 }
@@ -319,7 +333,11 @@ pub fn parse_partition(input: &str, k: usize) -> Result<Coloring, MetisError> {
                 what: format!("class {c} out of range for k = {k}"),
             });
         }
-        colors.push(if c < 0 { crate::coloring::UNCOLORED } else { c as u32 });
+        colors.push(if c < 0 {
+            crate::coloring::UNCOLORED
+        } else {
+            c as u32
+        });
     }
     Ok(Coloring::from_vec(k, colors))
 }
@@ -362,7 +380,10 @@ mod tests {
         // Edge count mismatch: header says 2, body has 1.
         assert!(matches!(
             parse_metis("2 2\n2\n1\n"),
-            Err(MetisError::EdgeCountMismatch { declared: 2, found: 1 })
+            Err(MetisError::EdgeCountMismatch {
+                declared: 2,
+                found: 1
+            })
         ));
         // Out-of-range neighbor.
         assert!(matches!(
@@ -381,8 +402,11 @@ mod tests {
         let costs = vec![3.0, 4.0];
         let doc = write_metis(&g, &weights, &costs);
         // Windows transport: CRLF endings plus trailing spaces per line.
-        let crlf: String =
-            doc.lines().map(|l| format!("{l}  \r\n")).collect::<Vec<_>>().concat();
+        let crlf: String = doc
+            .lines()
+            .map(|l| format!("{l}  \r\n"))
+            .collect::<Vec<_>>()
+            .concat();
         let back = parse_metis(&crlf).unwrap();
         assert_eq!(back.graph.edge_list(), g.edge_list());
         assert_eq!(back.weights, weights);
@@ -400,8 +424,14 @@ mod tests {
 
     #[test]
     fn non_binary_fmt_is_a_typed_error() {
-        assert!(matches!(parse_metis("2 1 abc\n2\n1\n"), Err(MetisError::BadHeader(_))));
-        assert!(matches!(parse_metis("2 1 0110\n2\n1\n"), Err(MetisError::BadHeader(_))));
+        assert!(matches!(
+            parse_metis("2 1 abc\n2\n1\n"),
+            Err(MetisError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_metis("2 1 0110\n2\n1\n"),
+            Err(MetisError::BadHeader(_))
+        ));
     }
 
     #[test]

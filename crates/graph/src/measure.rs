@@ -31,9 +31,14 @@ pub type Measure = Vec<f64>;
 /// *each other*.
 #[inline]
 pub fn pow_p(x: f64, p: f64) -> f64 {
+    // lint: allow(float-eq) — 1.0 is exactly representable; this is a
+    // dispatch constant, not computed arithmetic (same for 2.0 below).
     if p == 1.0 {
         x
-    } else if p == 2.0 {
+    }
+    // lint: allow(float-eq) — 2.0 is exactly representable; dispatch
+    // constant, not computed arithmetic.
+    else if p == 2.0 {
         x * x
     } else if p.fract() == 0.0 && (1.0..=32.0).contains(&p) {
         x.powi(p as i32)
@@ -85,6 +90,8 @@ pub fn norm_p(f: &[f64], p: f64) -> f64 {
 /// `p = 1 → q = ∞`; `p = ∞ → q = 1`.
 pub fn dual_exponent(p: f64) -> f64 {
     assert!(p >= 1.0, "dual exponent requires p >= 1, got {p}");
+    // lint: allow(float-eq) — 1.0 is exactly representable; `p = 1` is the
+    // documented special case, so the comparison must be exact.
     if p == 1.0 {
         f64::INFINITY
     } else if p.is_infinite() {
@@ -176,7 +183,11 @@ pub fn induced_degree_measure_ws<'ws>(
 ) -> ScratchMeasure<'ws> {
     let mut out = ws.measure(g.num_vertices());
     for v in w_set.iter() {
-        let d = g.neighbors(v).iter().filter(|&&(nb, _)| w_set.contains(nb)).count();
+        let d = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&(nb, _)| w_set.contains(nb))
+            .count();
         out.set(v, d as f64);
     }
     out

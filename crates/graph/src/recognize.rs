@@ -62,7 +62,9 @@ pub fn recognize(g: &Graph) -> Structure {
     let (_, components) = g.components();
     let is_forest = g.num_edges() + components == n;
     if is_forest && g.max_degree() <= 2 {
-        return Structure::Path { positions: path_positions(g) };
+        return Structure::Path {
+            positions: path_positions(g),
+        };
     }
     if is_forest {
         return Structure::Forest;
@@ -82,7 +84,10 @@ pub fn recognize(g: &Graph) -> Structure {
 /// component is a cycle).
 pub fn path_positions(g: &Graph) -> Vec<i64> {
     let n = g.num_vertices();
-    assert!(g.max_degree() <= 2, "path_positions requires max degree <= 2");
+    assert!(
+        g.max_degree() <= 2,
+        "path_positions requires max degree <= 2"
+    );
     let mut pos = vec![0i64; n];
     let mut seen = vec![false; n];
     let mut next = 0i64;
@@ -112,7 +117,10 @@ pub fn path_positions(g: &Graph) -> Vec<i64> {
             }
         }
     }
-    assert!(seen.iter().all(|&s| s), "path_positions requires acyclic components");
+    assert!(
+        seen.iter().all(|&s| s),
+        "path_positions requires acyclic components"
+    );
     pos
 }
 
@@ -363,14 +371,25 @@ mod tests {
 
     #[test]
     fn recognizes_forests() {
-        for g in [complete_binary_tree(5), random_tree(60, 4, 3), caterpillar(10, 2), star(5)] {
+        for g in [
+            complete_binary_tree(5),
+            random_tree(60, 4, 3),
+            caterpillar(10, 2),
+            star(5),
+        ] {
             assert_eq!(recognize(&g).name(), "forest");
         }
     }
 
     #[test]
     fn recognizes_lattices_in_all_dimensions() {
-        for dims in [vec![5usize, 4], vec![2, 2], vec![3, 3, 3], vec![2, 3, 4], vec![2, 2, 2, 2]] {
+        for dims in [
+            vec![5usize, 4],
+            vec![2, 2],
+            vec![3, 3, 3],
+            vec![2, 3, 4],
+            vec![2, 2, 2, 2],
+        ] {
             let grid = GridGraph::lattice(&dims);
             match recognize(&grid.graph) {
                 Structure::Grid(found) => {
@@ -438,12 +457,22 @@ mod tests {
     #[test]
     fn torus_hook_identifies_generator_layouts() {
         use crate::gen::lattice::torus;
-        for dims in [vec![4usize, 5], vec![3, 3], vec![10, 10], vec![3, 3, 3], vec![6]] {
+        for dims in [
+            vec![4usize, 5],
+            vec![3, 3],
+            vec![10, 10],
+            vec![3, 3, 3],
+            vec![6],
+        ] {
             let g = torus(&dims);
             let found = try_torus_dims(&g).unwrap_or_else(|| panic!("torus {dims:?} missed"));
             // The reported extents must reproduce the graph exactly (the
             // verification the hook itself performs — re-checked here).
-            assert_eq!(torus(&found).edge_list(), g.edge_list(), "{dims:?} → {found:?}");
+            assert_eq!(
+                torus(&found).edge_list(),
+                g.edge_list(),
+                "{dims:?} → {found:?}"
+            );
         }
         // A cycle is the 1-dimensional torus.
         assert_eq!(try_torus_dims(&cycle(7)), Some(vec![7]));

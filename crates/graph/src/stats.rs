@@ -70,7 +70,11 @@ impl InstanceStats {
             max_cost_degree: tau.iter().copied().fold(0.0, f64::max),
             local_fluctuation: local_fluct,
             fluctuation,
-            min_cost: if costs.is_empty() { f64::INFINITY } else { min_cost },
+            min_cost: if costs.is_empty() {
+                f64::INFINITY
+            } else {
+                min_cost
+            },
             max_cost,
         }
     }

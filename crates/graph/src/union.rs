@@ -40,7 +40,11 @@ impl DisjointUnion {
 /// Build `copies` disjoint copies of `(base, base_costs)`.
 pub fn disjoint_copies(base: &Graph, base_costs: &[f64], copies: usize) -> DisjointUnion {
     assert!(copies >= 1, "need at least one copy");
-    assert_eq!(base_costs.len(), base.num_edges(), "cost vector length mismatch");
+    assert_eq!(
+        base_costs.len(),
+        base.num_edges(),
+        "cost vector length mismatch"
+    );
     let n0 = base.num_vertices();
     let mut builder = GraphBuilder::new(n0 * copies);
     // Costs keyed by canonical endpoints so they survive the builder's
@@ -63,7 +67,12 @@ pub fn disjoint_copies(base: &Graph, base_costs: &[f64], copies: usize) -> Disjo
         .zip(&keyed)
         .all(|(&ab, &(k, _))| ab == k));
     let costs = keyed.into_iter().map(|(_, c)| c).collect();
-    DisjointUnion { graph, costs, copies, base_n: n0 }
+    DisjointUnion {
+        graph,
+        costs,
+        copies,
+        base_n: n0,
+    }
 }
 
 /// Replicate a per-vertex measure (e.g. weights `w`) of the base graph
@@ -102,7 +111,11 @@ mod tests {
         // Every edge of the union must carry the cost of its base edge.
         for (e, &(a, b)) in u.graph.edge_list().iter().enumerate() {
             let (ba, bb) = (u.base_vertex(a), u.base_vertex(b));
-            let base_cost = if (ba, bb) == (0, 1) || (ba, bb) == (1, 0) { 1.5 } else { 2.5 };
+            let base_cost = if (ba, bb) == (0, 1) || (ba, bb) == (1, 0) {
+                1.5
+            } else {
+                2.5
+            };
             assert_eq!(u.costs[e], base_cost);
         }
     }

@@ -24,7 +24,11 @@ impl std::fmt::Debug for VertexSet {
 impl VertexSet {
     /// Empty subset of `0..universe`.
     pub fn empty(universe: usize) -> Self {
-        Self { words: vec![0; universe.div_ceil(64)], len: 0, universe }
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+            universe,
+        }
     }
 
     /// The full set `{0, …, universe−1}`.
@@ -35,7 +39,11 @@ impl VertexSet {
                 *last = (1u64 << (universe % 64)) - 1;
             }
         }
-        Self { words, len: universe, universe }
+        Self {
+            words,
+            len: universe,
+            universe,
+        }
     }
 
     /// Build from an iterator of vertex ids (duplicates are fine).
@@ -69,7 +77,11 @@ impl VertexSet {
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
         let v = v as usize;
-        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        debug_assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         self.words[v / 64] >> (v % 64) & 1 == 1
     }
 
@@ -77,7 +89,11 @@ impl VertexSet {
     #[inline]
     pub fn insert(&mut self, v: VertexId) -> bool {
         let i = v as usize;
-        assert!(i < self.universe, "vertex {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "vertex {i} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         if *w & bit == 0 {
@@ -93,7 +109,11 @@ impl VertexSet {
     #[inline]
     pub fn remove(&mut self, v: VertexId) -> bool {
         let i = v as usize;
-        assert!(i < self.universe, "vertex {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "vertex {i} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         if *w & bit != 0 {
@@ -181,7 +201,10 @@ impl VertexSet {
     /// Whether every element of `self` is in `other`.
     pub fn is_subset_of(&self, other: &VertexSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Remove all elements.

@@ -148,7 +148,11 @@ thread_local! {
 impl Workspace {
     /// A fresh pooling workspace.
     pub fn new() -> Self {
-        Workspace { pool: RefCell::new(Vec::new()), stats: RefCell::default(), pooling: true }
+        Workspace {
+            pool: RefCell::new(Vec::new()),
+            stats: RefCell::default(),
+            pooling: true,
+        }
     }
 
     /// A non-pooling workspace: every checkout allocates fresh buffers and
@@ -156,7 +160,10 @@ impl Workspace {
     /// allocate-per-call code path (for A/B benchmarks; see
     /// `ScratchPolicy` in `mmb-core`).
     pub fn transient() -> Self {
-        Workspace { pooling: false, ..Self::new() }
+        Workspace {
+            pooling: false,
+            ..Self::new()
+        }
     }
 
     /// Run `f` against this thread's shared workspace. The instance lives
@@ -195,7 +202,11 @@ impl Workspace {
             s.live += 1;
             s.peak_live = s.peak_live.max(s.live);
         }
-        ScratchMeasure { ws: self, data: d, n }
+        ScratchMeasure {
+            ws: self,
+            data: d,
+            n,
+        }
     }
 
     /// Snapshot of the allocation/reuse counters.
@@ -206,7 +217,11 @@ impl Workspace {
     /// Zero all counters (buffers stay pooled).
     pub fn reset_stats(&self) {
         let live = self.stats.borrow().live;
-        *self.stats.borrow_mut() = WorkspaceStats { live, peak_live: live, ..Default::default() };
+        *self.stats.borrow_mut() = WorkspaceStats {
+            live,
+            peak_live: live,
+            ..Default::default()
+        };
     }
 
     /// Test hook: pin the epoch of every pooled buffer, so the
@@ -286,7 +301,11 @@ impl ScratchMeasure<'_> {
     /// Read entry `v` (0.0 if never written this checkout).
     #[inline]
     pub fn get(&self, v: VertexId) -> f64 {
-        assert!((v as usize) < self.n, "index {v} outside scratch universe {}", self.n);
+        assert!(
+            (v as usize) < self.n,
+            "index {v} outside scratch universe {}",
+            self.n
+        );
         self.data.vals[v as usize]
     }
 
@@ -347,11 +366,17 @@ mod tests {
         }
         {
             let m = ws.measure(100);
-            assert!(m.as_slice().iter().all(|&x| x == 0.0), "stale data survived");
+            assert!(
+                m.as_slice().iter().all(|&x| x == 0.0),
+                "stale data survived"
+            );
         }
         let s = ws.stats();
         assert_eq!(s.acquires, 2);
-        assert_eq!(s.fresh_allocs, 1, "second checkout must reuse the pooled buffer");
+        assert_eq!(
+            s.fresh_allocs, 1,
+            "second checkout must reuse the pooled buffer"
+        );
         assert_eq!(s.cells_touched, 50);
         assert_eq!(s.cells_dense, 200);
     }
@@ -402,7 +427,10 @@ mod tests {
         let _ = ws.measure(10);
         let s = ws.stats();
         assert_eq!(s.acquires, 2);
-        assert_eq!(s.fresh_allocs, 2, "transient mode must allocate per checkout");
+        assert_eq!(
+            s.fresh_allocs, 2,
+            "transient mode must allocate per checkout"
+        );
     }
 
     #[test]
@@ -438,7 +466,10 @@ mod tests {
         ws.set_pool_epochs(u32::MAX);
         {
             let mut m = ws.measure(16); // wraps: stamps refilled, epoch = 1
-            assert!(m.as_slice().iter().all(|&x| x == 0.0), "dense view not all-zero after wrap");
+            assert!(
+                m.as_slice().iter().all(|&x| x == 0.0),
+                "dense view not all-zero after wrap"
+            );
             assert!(m.touched().is_empty(), "touched list not empty after wrap");
             // Index 3 carried stamp 1 before the refill; its write must
             // still be recorded exactly once.
@@ -451,7 +482,10 @@ mod tests {
         // clean again.
         {
             let m = ws.measure(16);
-            assert!(m.as_slice().iter().all(|&x| x == 0.0), "post-wrap write leaked");
+            assert!(
+                m.as_slice().iter().all(|&x| x == 0.0),
+                "post-wrap write leaked"
+            );
             assert!(m.touched().is_empty());
         }
     }

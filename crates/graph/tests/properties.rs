@@ -16,7 +16,9 @@ fn arb_graph() -> impl Strategy<Value = mmb_graph::Graph> {
         let mut state = seed | 1;
         for u in 0..n as u32 {
             for v in u + 1..n as u32 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if state >> 33 & 3 == 0 {
                     b.add_edge(u, v);
                 }

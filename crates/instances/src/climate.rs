@@ -49,7 +49,13 @@ pub struct ClimateParams {
 
 impl Default for ClimateParams {
     fn default() -> Self {
-        Self { lon: 64, lat: 32, storms: 5, storm_intensity: 20.0, seed: 42 }
+        Self {
+            lon: 64,
+            lat: 32,
+            storms: 5,
+            storm_intensity: 20.0,
+            seed: 42,
+        }
     }
 }
 
@@ -102,7 +108,11 @@ pub fn climate(params: &ClimateParams) -> ClimateWorkload {
         .map(|&(u, v)| 0.5 * (activity[u as usize] + activity[v as usize]))
         .collect();
 
-    ClimateWorkload { grid, weights, costs }
+    ClimateWorkload {
+        grid,
+        weights,
+        costs,
+    }
 }
 
 #[cfg(test)]
@@ -122,10 +132,17 @@ mod tests {
 
     #[test]
     fn storms_create_heavy_tail() {
-        let w = climate(&ClimateParams { storm_intensity: 50.0, ..Default::default() });
+        let w = climate(&ClimateParams {
+            storm_intensity: 50.0,
+            ..Default::default()
+        });
         let wmax = w.weights.iter().cloned().fold(0.0, f64::max);
         let wavg: f64 = w.weights.iter().sum::<f64>() / w.weights.len() as f64;
-        assert!(wmax / wavg > 5.0, "storms should create hotspots: max/avg = {}", wmax / wavg);
+        assert!(
+            wmax / wavg > 5.0,
+            "storms should create hotspots: max/avg = {}",
+            wmax / wavg
+        );
     }
 
     #[test]
@@ -135,7 +152,11 @@ mod tests {
         let w = climate(&ClimateParams::default());
         let stats = InstanceStats::compute(&w.grid.graph, &w.costs);
         assert!(stats.max_degree <= 4);
-        assert!(stats.local_fluctuation < 100.0, "φ_ℓ = {}", stats.local_fluctuation);
+        assert!(
+            stats.local_fluctuation < 100.0,
+            "φ_ℓ = {}",
+            stats.local_fluctuation
+        );
     }
 
     #[test]

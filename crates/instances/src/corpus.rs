@@ -96,16 +96,50 @@ impl Corpus {
     pub fn small() -> Self {
         let mut c = Corpus::default();
         let graphs: Vec<(&'static str, &'static str, String, Graph)> = vec![
-            ("pa", "-a1", "n=9 attach=1 seed=5".into(), preferential_attachment(9, 1, 5)),
-            ("pa", "-a2", "n=10 attach=2 seed=6".into(), preferential_attachment(10, 2, 6)),
-            ("rgg", "", "n=9 r=0.45 seed=2".into(), random_geometric(9, 0.45, 2).graph),
-            ("ws", "", "n=10 k_half=1 beta=0.2 seed=3".into(), watts_strogatz(10, 1, 0.2, 3)),
+            (
+                "pa",
+                "-a1",
+                "n=9 attach=1 seed=5".into(),
+                preferential_attachment(9, 1, 5),
+            ),
+            (
+                "pa",
+                "-a2",
+                "n=10 attach=2 seed=6".into(),
+                preferential_attachment(10, 2, 6),
+            ),
+            (
+                "rgg",
+                "",
+                "n=9 r=0.45 seed=2".into(),
+                random_geometric(9, 0.45, 2).graph,
+            ),
+            (
+                "ws",
+                "",
+                "n=10 k_half=1 beta=0.2 seed=3".into(),
+                watts_strogatz(10, 1, 0.2, 3),
+            ),
             ("hypercube", "", "d=3".into(), hypercube(3)),
             ("torus", "", "dims=[3,3]".into(), torus(&[3, 3])),
-            ("sbm", "", "n=10 groups=2 p_in=0.8 p_out=0.15 seed=4".into(),
-                planted_partition(10, 2, 0.8, 0.15, 4).graph),
-            ("grid", "", "dims=[5,2]".into(), GridGraph::lattice(&[5, 2]).graph),
-            ("tree", "", "n=10 max_deg=3 seed=8".into(), random_tree(10, 3, 8)),
+            (
+                "sbm",
+                "",
+                "n=10 groups=2 p_in=0.8 p_out=0.15 seed=4".into(),
+                planted_partition(10, 2, 0.8, 0.15, 4).graph,
+            ),
+            (
+                "grid",
+                "",
+                "dims=[5,2]".into(),
+                GridGraph::lattice(&[5, 2]).graph,
+            ),
+            (
+                "tree",
+                "",
+                "n=10 max_deg=3 seed=8".into(),
+                random_tree(10, 3, 8),
+            ),
         ];
         for (family, tag, params, g) in graphs {
             for (wf, cf, phi) in PROFILES {
@@ -138,7 +172,15 @@ impl Corpus {
     pub fn medium() -> Self {
         use mmb_graph::gen::misc::{cycle, path};
         let mut c = Corpus::default();
-        let graphs: Vec<(&'static str, String, Graph, usize, WeightFamily, CostFamily, f64)> = vec![
+        let graphs: Vec<(
+            &'static str,
+            String,
+            Graph,
+            usize,
+            WeightFamily,
+            CostFamily,
+            f64,
+        )> = vec![
             (
                 "grid",
                 "dims=[3,6]".into(),
@@ -212,12 +254,7 @@ impl Corpus {
                 watts_strogatz(90 * s, 2, 0.08, 3),
                 2,
             ),
-            (
-                "hypercube",
-                format!("d={}", 5 + s),
-                hypercube(5 + s),
-                2,
-            ),
+            ("hypercube", format!("d={}", 5 + s), hypercube(5 + s), 2),
             (
                 "torus",
                 format!("dims=[{0},{0}]", 6 + 4 * s),
@@ -226,8 +263,11 @@ impl Corpus {
             ),
             (
                 "sbm",
-                format!("n={} groups=4 p_in={} p_out=0.01 seed=4", 80 * s,
-                    if quick { 0.16 } else { 0.08 }),
+                format!(
+                    "n={} groups=4 p_in={} p_out=0.01 seed=4",
+                    80 * s,
+                    if quick { 0.16 } else { 0.08 }
+                ),
                 planted_partition(80 * s, 4, if quick { 0.16 } else { 0.08 }, 0.01, 4).graph,
                 2,
             ),
@@ -271,9 +311,16 @@ impl Corpus {
         let weights = wf.generate(g.num_vertices(), seed);
         let costs = cf.generate_for_graph(&g, phi, seed);
         let name = format!("{family}{tag}-{}-{}", wf.name(), cf.name());
-        let instance = Instance::new(g, costs, weights)
-            .expect("corpus generators produce valid instances");
-        self.entries.push(CorpusEntry { name, family, params, k, p, instance });
+        let instance =
+            Instance::new(g, costs, weights).expect("corpus generators produce valid instances");
+        self.entries.push(CorpusEntry {
+            name,
+            family,
+            params,
+            k,
+            p,
+            instance,
+        });
     }
 
     /// All entries, in registry order (grouped by family).
@@ -327,7 +374,16 @@ mod tests {
     fn standard_covers_all_families_twice() {
         let c = Corpus::standard();
         let fams = c.families();
-        for f in ["pa", "rgg", "ws", "hypercube", "torus", "sbm", "grid", "tree"] {
+        for f in [
+            "pa",
+            "rgg",
+            "ws",
+            "hypercube",
+            "torus",
+            "sbm",
+            "grid",
+            "tree",
+        ] {
             assert!(fams.contains(&f), "missing family {f}");
             assert_eq!(c.family_entries(f).count(), 2, "family {f}");
         }
@@ -347,7 +403,10 @@ mod tests {
         assert_eq!(q.families(), s.families());
         let qn: usize = q.entries().iter().map(|e| e.instance.num_vertices()).sum();
         let sn: usize = s.entries().iter().map(|e| e.instance.num_vertices()).sum();
-        assert!(qn < sn, "quick ({qn} vertices) should be smaller than standard ({sn})");
+        assert!(
+            qn < sn,
+            "quick ({qn} vertices) should be smaller than standard ({sn})"
+        );
     }
 
     #[test]
@@ -355,7 +414,12 @@ mod tests {
         let c = Corpus::small();
         assert!(c.len() >= 10);
         for e in &c {
-            assert!(e.instance.num_vertices() <= 10, "{} has n = {}", e.name, e.instance.num_vertices());
+            assert!(
+                e.instance.num_vertices() <= 10,
+                "{} has n = {}",
+                e.name,
+                e.instance.num_vertices()
+            );
             assert!(e.k >= 2);
         }
         // The two pa graphs are disambiguated by their name tags.
@@ -377,14 +441,23 @@ mod tests {
         // sits close to its connectivity threshold, which is exactly
         // where a generator tweak could silently push an entry back to
         // optimum 0.
-        for corpus in [Corpus::standard(), Corpus::quick(), Corpus::small(), Corpus::medium()] {
+        for corpus in [
+            Corpus::standard(),
+            Corpus::quick(),
+            Corpus::small(),
+            Corpus::medium(),
+        ] {
             for e in &corpus {
                 let report = mmb_core::lower_bounds::best_lower_bound(&e.instance, e.k);
                 assert!(
                     report.value() > 0.0,
                     "{}: no certifier produced a positive bound (ran: {:?})",
                     e.name,
-                    report.certificates.iter().map(|c| c.certifier).collect::<Vec<_>>()
+                    report
+                        .certificates
+                        .iter()
+                        .map(|c| c.certifier)
+                        .collect::<Vec<_>>()
                 );
             }
         }
@@ -398,7 +471,11 @@ mod tests {
             let n = e.instance.num_vertices();
             assert!(n > 16 && n <= 20, "{}: n = {n} outside (16, 20]", e.name);
             // The oracle must refuse these…
-            assert!(mmb_core::exact_min_max_boundary(&e.instance, e.k).is_err(), "{}", e.name);
+            assert!(
+                mmb_core::exact_min_max_boundary(&e.instance, e.k).is_err(),
+                "{}",
+                e.name
+            );
             // …and the engine must exhaust them under its default
             // certification budget (proving the optimum).
             let cert = mmb_core::lower_bounds::LowerBound::certify(
@@ -437,7 +514,10 @@ mod tests {
         let b = Corpus::quick();
         for (x, y) in a.entries().iter().zip(b.entries()) {
             assert_eq!(x.name, y.name);
-            assert_eq!(x.instance.graph().edge_list(), y.instance.graph().edge_list());
+            assert_eq!(
+                x.instance.graph().edge_list(),
+                y.instance.graph().edge_list()
+            );
             assert_eq!(x.instance.weights(), y.instance.weights());
             assert_eq!(x.instance.costs(), y.instance.costs());
         }

@@ -53,9 +53,7 @@ impl CostFamily {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA0761D6478BD642F);
         match self {
             CostFamily::Unit => vec![1.0; m],
-            CostFamily::LogUniform => (0..m)
-                .map(|_| phi.powf(rng.random::<f64>()))
-                .collect(),
+            CostFamily::LogUniform => (0..m).map(|_| phi.powf(rng.random::<f64>())).collect(),
             CostFamily::TwoLevel => (0..m)
                 .map(|_| if rng.random::<f64>() < 0.1 { phi } else { 1.0 })
                 .collect(),
@@ -92,9 +90,7 @@ impl CostFamily {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA0761D6478BD642F);
         match self {
             CostFamily::Unit => vec![1.0; m],
-            CostFamily::LogUniform => {
-                (0..m).map(|_| phi.powf(rng.random::<f64>())).collect()
-            }
+            CostFamily::LogUniform => (0..m).map(|_| phi.powf(rng.random::<f64>())).collect(),
             CostFamily::TwoLevel => (0..m)
                 .map(|_| if rng.random::<f64>() < 0.1 { phi } else { 1.0 })
                 .collect(),
@@ -177,7 +173,11 @@ mod tests {
         // stream, so the bare-graph path must be bit-identical to the
         // grid path on the grid's own graph.
         let grid = GridGraph::lattice(&[9, 6]);
-        for fam in [CostFamily::Unit, CostFamily::LogUniform, CostFamily::TwoLevel] {
+        for fam in [
+            CostFamily::Unit,
+            CostFamily::LogUniform,
+            CostFamily::TwoLevel,
+        ] {
             let a = fam.generate(&grid, 25.0, 11);
             let b = fam.generate_for_graph(&grid.graph, 25.0, 11);
             assert_eq!(a, b, "{}", fam.name());

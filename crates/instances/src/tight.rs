@@ -50,10 +50,7 @@ pub fn min_balanced_separation_cost(g: &Graph, costs: &[f64], weights: &[f64]) -
     (0u32..1 << n)
         .into_par_iter()
         .map(|mask| {
-            let sep_cost: f64 = (0..n)
-                .filter(|&v| mask >> v & 1 == 1)
-                .map(|v| tau[v])
-                .sum();
+            let sep_cost: f64 = (0..n).filter(|&v| mask >> v & 1 == 1).map(|v| tau[v]).sum();
             if separable_with(g, weights, mask, total) {
                 sep_cost
             } else {
@@ -193,17 +190,17 @@ impl TightInstance {
     /// `(avg boundary, lower bound, rough balance ok)`.
     pub fn check(&self, chi: &Coloring) -> (f64, f64, bool) {
         let avg = chi.avg_boundary_cost(&self.union.graph, &self.union.costs);
-        (avg, self.avg_boundary_lower_bound(), self.is_roughly_balanced(chi))
+        (
+            avg,
+            self.avg_boundary_lower_bound(),
+            self.is_roughly_balanced(chi),
+        )
     }
 }
 
 /// Verify a separator set `S` is a valid balanced separation witness on a
 /// small graph (testing aid).
-pub fn is_balanced_separator(
-    g: &Graph,
-    weights: &[f64],
-    sep: &VertexSet,
-) -> bool {
+pub fn is_balanced_separator(g: &Graph, weights: &[f64], sep: &VertexSet) -> bool {
     let n = g.num_vertices();
     let mask: u32 = sep.iter().fold(0, |m, v| m | 1 << v);
     let _ = n;
@@ -212,10 +209,7 @@ pub fn is_balanced_separator(
 
 /// Total `τ`-cost of a separator set.
 pub fn separator_tau_cost(g: &Graph, costs: &[f64], sep: &VertexSet) -> f64 {
-    set_sum(
-        &mmb_graph::measure::cost_degree_measure(g, costs),
-        sep,
-    )
+    set_sum(&mmb_graph::measure::cost_degree_measure(g, costs), sep)
 }
 
 #[cfg(test)]

@@ -108,7 +108,11 @@ mod tests {
             let a = fam.generate(500, 7);
             let b = fam.generate(500, 7);
             assert_eq!(a, b, "{} not deterministic", fam.name());
-            assert!(a.iter().all(|&w| w > 0.0 && w.is_finite()), "{}", fam.name());
+            assert!(
+                a.iter().all(|&w| w > 0.0 && w.is_finite()),
+                "{}",
+                fam.name()
+            );
         }
     }
 

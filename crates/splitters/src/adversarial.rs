@@ -24,7 +24,9 @@ impl AdversarialSplitter {
 
     fn scramble(&self, v: VertexId) -> u64 {
         // SplitMix64: good avalanche, cheap, deterministic.
-        let mut z = (v as u64).wrapping_add(self.salt).wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = (v as u64)
+            .wrapping_add(self.salt)
+            .wrapping_add(0x9E3779B97F4A7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)

@@ -70,7 +70,10 @@ mod tests {
         let weights: Vec<f64> = (0..12).map(|i| 1.0 + (i % 3) as f64).collect();
         for target in [0.0, 5.0, 11.0, 100.0] {
             let u = sp.split(&w, &weights, target);
-            assert!(check_split(&w, &u, &weights, target).holds(), "target {target}");
+            assert!(
+                check_split(&w, &u, &weights, target).holds(),
+                "target {target}"
+            );
         }
     }
 

@@ -46,7 +46,11 @@ pub fn estimate_sigma<S: Splitter + ?Sized>(
     assert_eq!(costs.len(), g.num_edges(), "cost vector length mismatch");
     let n = g.num_vertices();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x2545F4914F6CDD1D);
-    let mut est = SigmaEstimate { sigma: 0.0, samples: 0, worst_subset_size: 0 };
+    let mut est = SigmaEstimate {
+        sigma: 0.0,
+        samples: 0,
+        worst_subset_size: 0,
+    };
     if n == 0 {
         return est;
     }
@@ -59,10 +63,8 @@ pub fn estimate_sigma<S: Splitter + ?Sized>(
             1 => bfs_ball(g, rng.random_range(0..n as u32), rng.random_range(1..=n), n),
             _ => {
                 let keep = 0.3 + 0.6 * rng.random::<f64>();
-                let s = VertexSet::from_iter(
-                    n,
-                    (0..n as u32).filter(|_| rng.random::<f64>() < keep),
-                );
+                let s =
+                    VertexSet::from_iter(n, (0..n as u32).filter(|_| rng.random::<f64>() < keep));
                 if s.is_empty() {
                     VertexSet::full(n)
                 } else {
@@ -75,7 +77,13 @@ pub fn estimate_sigma<S: Splitter + ?Sized>(
             0 => vec![1.0; n],
             1 => (0..n).map(|v| 1.02f64.powi((v % 512) as i32)).collect(),
             2 => (0..n)
-                .map(|_| if rng.random::<f64>() < 0.05 { 10.0 } else { 0.1 })
+                .map(|_| {
+                    if rng.random::<f64>() < 0.05 {
+                        10.0
+                    } else {
+                        0.1
+                    }
+                })
                 .collect(),
             _ => (0..n).map(|_| rng.random::<f64>()).collect(),
         };
@@ -143,7 +151,11 @@ mod tests {
         let sp = GridSplitter::new(&grid, &costs);
         let est = estimate_sigma(&grid.graph, &costs, &sp, 2.0, 45, 11);
         // ‖c‖₂ = √480 ≈ 21.9; a bisection cut is ~16–32 edges → σ ≈ 1–2.
-        assert!(est.sigma < 5.0, "grid sigma estimate too large: {}", est.sigma);
+        assert!(
+            est.sigma < 5.0,
+            "grid sigma estimate too large: {}",
+            est.sigma
+        );
         assert!(est.worst_subset_size > 0);
     }
 

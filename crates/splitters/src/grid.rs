@@ -106,9 +106,20 @@ pub struct GridSplitter<'g> {
 impl<'g> GridSplitter<'g> {
     /// Bind to a grid graph and its edge costs.
     pub fn new(grid: &'g GridGraph, costs: &[f64]) -> Self {
-        assert_eq!(costs.len(), grid.graph.num_edges(), "cost vector length mismatch");
-        assert!(costs.iter().all(|&c| c >= 0.0 && c.is_finite()), "costs must be finite and >= 0");
-        let cmin = costs.iter().copied().filter(|&c| c > 0.0).fold(f64::INFINITY, f64::min);
+        assert_eq!(
+            costs.len(),
+            grid.graph.num_edges(),
+            "cost vector length mismatch"
+        );
+        assert!(
+            costs.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "costs must be finite and >= 0"
+        );
+        let cmin = costs
+            .iter()
+            .copied()
+            .filter(|&c| c > 0.0)
+            .fold(f64::INFINITY, f64::min);
         let scaled = if cmin.is_finite() && cmin > 0.0 {
             costs.iter().map(|&c| c / cmin).collect()
         } else {
@@ -150,10 +161,13 @@ impl<'g> GridSplitter<'g> {
         // (hi/ℓ + 1)·ℓ` with `ℓ ≤ 2^40`) — i64 overflow near the extremes
         // routes to the legacy path instead.
         let pack_safe = n > 0
-            && mins.iter().zip(&maxs).try_fold(1u128, |acc, (&lo, &hi)| {
-                acc.checked_mul((hi as i128 - lo as i128) as u128 + 2)
-            })
-            .is_some_and(|p| p <= u64::MAX as u128)
+            && mins
+                .iter()
+                .zip(&maxs)
+                .try_fold(1u128, |acc, (&lo, &hi)| {
+                    acc.checked_mul((hi as i128 - lo as i128) as u128 + 2)
+                })
+                .is_some_and(|p| p <= u64::MAX as u128)
             && mins.iter().all(|&lo| lo > i64::MIN / 4)
             && maxs.iter().all(|&hi| hi < i64::MAX / 4);
         let max_scaled = scaled.iter().copied().fold(0.0f64, f64::max);
@@ -165,10 +179,14 @@ impl<'g> GridSplitter<'g> {
             .iter()
             .map(|&(u, v)| {
                 let (cu, cv) = (grid.coord(u), grid.coord(v));
-                let axis = (0..d).find(|&a| cu[a] != cv[a]).expect("edge endpoints share coords");
+                let axis = (0..d)
+                    .find(|&a| cu[a] != cv[a])
+                    .expect("edge endpoints share coords");
                 cu[axis].min(cv[axis])
             })
             .collect();
+        // lint: allow(float-eq) — 1.0 is exactly representable; this is a
+        // fast-path dispatch on the scaler's exact sentinel, not arithmetic.
         let uniform_cost = scaled.iter().all(|&c| c == 1.0);
         Self {
             grid,
@@ -217,13 +235,17 @@ impl<'g> GridSplitter<'g> {
     fn pick_alpha(per_alpha: &HashMap<i64, f64>, ell: i64) -> i64 {
         if (per_alpha.len() as i64) < ell {
             // Some shift cuts nothing at all.
-            (1..=ell).find(|a| !per_alpha.contains_key(a)).unwrap()
+            (1..=ell)
+                .find(|a| !per_alpha.contains_key(a))
+                .expect("len < ell guarantees an uncut shift")
         } else {
+            // lint: allow(hash-order-leak) — min under total_cmp with the
+            // α tie-break is iteration-order independent.
             *per_alpha
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0)))
                 .map(|(a, _)| a)
-                .unwrap()
+                .expect("ell >= 1 shifts exist in this branch")
         }
     }
 
@@ -254,7 +276,9 @@ impl<'g> GridSplitter<'g> {
                 }
                 c1 += cur;
                 let (cv, cn) = (self.grid.coord(v), self.grid.coord(nb));
-                let axis = (0..d).find(|&a| cv[a] != cn[a]).expect("edge endpoints share coords");
+                let axis = (0..d)
+                    .find(|&a| cv[a] != cn[a])
+                    .expect("edge endpoints share coords");
                 edges.push((cv[axis].min(cn[axis]), cur));
             }
         }
@@ -278,20 +302,23 @@ impl<'g> GridSplitter<'g> {
         }
         let alpha = if (per_alpha.len() as i64) < ell {
             // Some shift cuts nothing at all.
-            (1..=ell).find(|a| !per_alpha.contains_key(a)).unwrap()
+            (1..=ell)
+                .find(|a| !per_alpha.contains_key(a))
+                .expect("len < ell guarantees an uncut shift")
         } else {
             // Cheapest shift, ties broken by smallest α so two splitters
-            // built from the same instance always cut identically
-            // (HashMap iteration order must not leak into the output).
+            // built from the same instance always cut identically.
+            // lint: allow(hash-order-leak) — min under total_cmp with the
+            // α tie-break is iteration-order independent.
             *per_alpha
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(b.0)))
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0)))
                 .map(|(a, _)| a)
-                .unwrap()
+                .expect("ell >= 1 shifts exist in this branch")
         };
 
         // Assign members to cells ϕ_α(x) = ⌊(x + (α−1)·1)/ℓ⌋.
-        let mut cells: HashMap<Vec<i64>, Vec<VertexId>> = HashMap::new();
+        let mut cell_map: HashMap<Vec<i64>, Vec<VertexId>> = HashMap::new();
         for &v in members {
             let key: Vec<i64> = self
                 .grid
@@ -299,9 +326,9 @@ impl<'g> GridSplitter<'g> {
                 .iter()
                 .map(|&x| (x + alpha - 1).div_euclid(ell))
                 .collect();
-            cells.entry(key).or_default().push(v);
+            cell_map.entry(key).or_default().push(v);
         }
-        let mut keyed: Vec<(Vec<i64>, Vec<VertexId>)> = cells.into_iter().collect();
+        let mut keyed: Vec<(Vec<i64>, Vec<VertexId>)> = cell_map.into_iter().collect();
         keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Some(keyed.into_iter().map(|(_, vs)| vs).collect())
     }
@@ -617,8 +644,10 @@ impl<'g> GridSplitter<'g> {
                     while j < keyed.len() && keyed[j].0 == keyed[i].0 {
                         j += 1;
                     }
-                    let wcell: f64 =
-                        keyed[i..j].iter().map(|&(_, _, v)| weights[v as usize]).sum();
+                    let wcell: f64 = keyed[i..j]
+                        .iter()
+                        .map(|&(_, _, v)| weights[v as usize])
+                        .sum();
                     if wcell <= rem {
                         rem -= wcell;
                         for &(_, _, v) in &keyed[i..j] {
@@ -626,8 +655,7 @@ impl<'g> GridSplitter<'g> {
                         }
                         i = j;
                     } else {
-                        let run: Vec<VertexId> =
-                            keyed[i..j].iter().map(|&(_, _, v)| v).collect();
+                        let run: Vec<VertexId> = keyed[i..j].iter().map(|&(_, _, v)| v).collect();
                         members.clear();
                         members.extend(run);
                         straddle = true;
@@ -705,7 +733,10 @@ mod tests {
         let weights = unit_weights(64);
         for target in [0.0, 1.0, 13.0, 32.0, 63.0, 64.0] {
             let u = sp.split(&w, &weights, target);
-            assert!(check_split(&w, &u, &weights, target).holds(), "target {target}");
+            assert!(
+                check_split(&w, &u, &weights, target).holds(),
+                "target {target}"
+            );
         }
     }
 
@@ -823,8 +854,7 @@ mod tests {
                 let w = VertexSet::from_iter(n, (0..n as u32).filter(|v| v % mask_mod != 1));
                 let total: f64 = w.iter().map(|v| weights[v as usize]).sum();
                 let target = frac * total;
-                let fast =
-                    with_scratch_mode(ScratchMode::Reuse, || sp.split(&w, &weights, target));
+                let fast = with_scratch_mode(ScratchMode::Reuse, || sp.split(&w, &weights, target));
                 let legacy =
                     with_scratch_mode(ScratchMode::Transient, || sp.split(&w, &weights, target));
                 assert_eq!(fast, legacy, "dims {dims:?}, mask {mask_mod}, frac {frac}");
@@ -922,11 +952,10 @@ mod tests {
             ca <= cb + 1e-9,
             "cost-aware ({ca}) should not lose to cost-blind ({cb})"
         );
-        let bound = theorem19_bound(
-            2,
-            1000.0,
-            edge_norm_p(&grid.graph, &costs, &w, 2.0),
+        let bound = theorem19_bound(2, 1000.0, edge_norm_p(&grid.graph, &costs, &w, 2.0));
+        assert!(
+            ca <= 3.0 * bound,
+            "cut {ca} exceeds 3× Theorem 19 bound {bound}"
         );
-        assert!(ca <= 3.0 * bound, "cut {ca} exceeds 3× Theorem 19 bound {bound}");
     }
 }

@@ -110,7 +110,12 @@ pub fn prefix_split(
     weights: &[f64],
     target: f64,
 ) -> VertexSet {
-    VertexSet::from_iter(universe, order[..prefix_cut_len(order, weights, target)].iter().copied())
+    VertexSet::from_iter(
+        universe,
+        order[..prefix_cut_len(order, weights, target)]
+            .iter()
+            .copied(),
+    )
 }
 
 /// The decision rule behind [`prefix_split`]: the length of the best
@@ -130,7 +135,11 @@ pub fn prefix_cut_len(order: &[VertexId], weights: &[f64], target: f64) -> usize
         let next = acc + weights[v as usize];
         if next >= target {
             // Prefix of length i has weight acc (< target ≤ next).
-            cut = if target - acc <= next - target { i } else { i + 1 };
+            cut = if target - acc <= next - target {
+                i
+            } else {
+                i + 1
+            };
             break;
         }
         acc = next;

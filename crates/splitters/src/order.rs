@@ -23,7 +23,11 @@ impl OrderSplitter {
     /// Order vertices by an arbitrary integer key (ties broken by id).
     pub fn by_key(universe: usize, key: Vec<i64>, name: impl Into<String>) -> Self {
         assert_eq!(key.len(), universe, "key length mismatch");
-        Self { universe, key, name: name.into() }
+        Self {
+            universe,
+            key,
+            name: name.into(),
+        }
     }
 
     /// Order by vertex id — correct for [`mmb_graph::gen::misc::path`],

@@ -42,7 +42,11 @@ pub struct RecordingSplitter<'a, S: Splitter> {
 impl<'a, S: Splitter> RecordingSplitter<'a, S> {
     /// Wrap `inner`, measuring cut costs against `(graph, costs)`.
     pub fn new(inner: S, graph: &'a Graph, costs: &'a [f64]) -> Self {
-        assert_eq!(graph.num_edges(), costs.len(), "cost vector length mismatch");
+        assert_eq!(
+            graph.num_edges(),
+            costs.len(),
+            "cost vector length mismatch"
+        );
         Self {
             inner,
             graph,
@@ -76,7 +80,8 @@ impl<S: Splitter> Splitter for RecordingSplitter<'_, S> {
     fn split(&self, w_set: &VertexSet, weights: &[f64], target: f64) -> VertexSet {
         let u = self.inner.split(w_set, weights, target);
         self.calls.fetch_add(1, Ordering::Relaxed);
-        self.total_subset_size.fetch_add(w_set.len() as u64, Ordering::Relaxed);
+        self.total_subset_size
+            .fetch_add(w_set.len() as u64, Ordering::Relaxed);
         let cost = boundary_cost_within(self.graph, self.costs, w_set, &u);
         let mut cut = self.cut.lock().expect("stats mutex poisoned");
         cut.0 += cost;

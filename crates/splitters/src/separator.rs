@@ -86,7 +86,9 @@ fn two_thirds_grouping(weights: &[f64]) -> Vec<bool> {
         return side;
     }
     let mut idx: Vec<usize> = (0..weights.len()).collect();
-    idx.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+    // total_cmp + index tie-break: the grouping walks `idx` in order, so
+    // ties between equal-weight pieces must break deterministically.
+    idx.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
     let largest = idx[0];
     if weights[largest] >= total / 3.0 {
         // Largest piece alone on side A; everything else on side B.
@@ -203,14 +205,17 @@ impl SeparatorProvider for TreeCentroidSeparator<'_> {
         let total = set_sum(balance, w_set);
         let comps = self.induced_components(w_set);
         if comps.is_empty() {
-            return Separation { a_only: vec![], sep: vec![], b_only: vec![] };
+            return Separation {
+                a_only: vec![],
+                sep: vec![],
+                b_only: vec![],
+            };
         }
 
         // If every component already weighs ≤ ½·total we can group them
         // with an empty separator; otherwise split the heavy component at
         // its centroid first.
-        let comp_weight =
-            |c: &Vec<VertexId>| c.iter().map(|&v| balance[v as usize]).sum::<f64>();
+        let comp_weight = |c: &Vec<VertexId>| c.iter().map(|&v| balance[v as usize]).sum::<f64>();
         let heavy = comps
             .iter()
             .position(|c| comp_weight(c) > total / 2.0 && c.len() > 1);
@@ -242,7 +247,11 @@ impl SeparatorProvider for TreeCentroidSeparator<'_> {
                 b_only.extend_from_slice(piece);
             }
         }
-        Separation { a_only, sep, b_only }
+        Separation {
+            a_only,
+            sep,
+            b_only,
+        }
     }
 
     fn name(&self) -> &str {
@@ -267,7 +276,11 @@ impl SeparatorProvider for GridSlabSeparator<'_> {
     fn separate(&self, w_set: &VertexSet, balance: &[f64]) -> Separation {
         let members: Vec<VertexId> = w_set.iter().collect();
         if members.is_empty() {
-            return Separation { a_only: vec![], sep: vec![], b_only: vec![] };
+            return Separation {
+                a_only: vec![],
+                sep: vec![],
+                b_only: vec![],
+            };
         }
         // Pick the axis with the widest extent.
         let d = self.grid.dim;
@@ -309,7 +322,11 @@ impl SeparatorProvider for GridSlabSeparator<'_> {
                 std::cmp::Ordering::Greater => b_only.push(v),
             }
         }
-        Separation { a_only, sep, b_only }
+        Separation {
+            a_only,
+            sep,
+            b_only,
+        }
     }
 
     fn name(&self) -> &str {
@@ -330,9 +347,18 @@ pub struct SeparatorSplitter<'g, P> {
 impl<'g, P: SeparatorProvider> SeparatorSplitter<'g, P> {
     /// Bind the reduction to an instance and a provider.
     pub fn new(graph: &'g Graph, costs: &'g [f64], provider: P, p: f64) -> Self {
-        assert_eq!(costs.len(), graph.num_edges(), "cost vector length mismatch");
+        assert_eq!(
+            costs.len(),
+            graph.num_edges(),
+            "cost vector length mismatch"
+        );
         assert!(p >= 1.0, "p must be at least 1");
-        Self { graph, costs, provider, p }
+        Self {
+            graph,
+            costs,
+            provider,
+            p,
+        }
     }
 
     /// `τ_W(v) = c(δ(v) ∩ E(W))` for every `v ∈ W` (0 outside).
@@ -372,7 +398,11 @@ impl<'g, P: SeparatorProvider> SeparatorSplitter<'g, P> {
         }
         let pi: Vec<f64> = tau.iter().map(|&t| t.powf(self.p)).collect();
         let separation = self.provider.separate(w_set, &pi);
-        let Separation { a_only, sep, b_only } = separation;
+        let Separation {
+            a_only,
+            sep,
+            b_only,
+        } = separation;
         if a_only.len() + sep.len() < w_set.len() && a_only.is_empty() && sep.is_empty() {
             // Degenerate provider output; bail out to the trivial case.
             return (Vec::new(), w_set.iter().collect());
@@ -393,8 +423,7 @@ impl<'g, P: SeparatorProvider> SeparatorSplitter<'g, P> {
         } else {
             // Take all of A, descend into B \ A with the residual target.
             let sub = VertexSet::from_iter(n, b_only.iter().copied());
-            let (mut core, inner_sep) =
-                self.split_rec(&sub, weights, target - wa, wmax, depth + 1);
+            let (mut core, inner_sep) = self.split_rec(&sub, weights, target - wa, wmax, depth + 1);
             core.extend(a_only);
             core.extend(sep);
             (core, inner_sep)
@@ -453,7 +482,12 @@ mod tests {
         ] {
             let total: f64 = weights.iter().sum();
             let sides = two_thirds_grouping(&weights);
-            let a: f64 = weights.iter().zip(&sides).filter(|(_, &s)| s).map(|(w, _)| w).sum();
+            let a: f64 = weights
+                .iter()
+                .zip(&sides)
+                .filter(|(_, &s)| s)
+                .map(|(w, _)| w)
+                .sum();
             let b = total - a;
             assert!(a <= 2.0 / 3.0 * total + 1e-9, "{weights:?}");
             assert!(b <= 2.0 / 3.0 * total + 1e-9, "{weights:?}");
@@ -467,7 +501,9 @@ mod tests {
         let sepp = TreeCentroidSeparator::new(&g);
         let w = VertexSet::full(n);
         for skew in [0u64, 1, 2] {
-            let balance: Vec<f64> = (0..n).map(|v| 1.0 + ((v as u64 + skew) % 5) as f64).collect();
+            let balance: Vec<f64> = (0..n)
+                .map(|v| 1.0 + ((v as u64 + skew) % 5) as f64)
+                .collect();
             let s = sepp.separate(&w, &balance);
             assert!(s.check(&g, &w, &balance), "separation contract violated");
         }

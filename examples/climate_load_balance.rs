@@ -18,7 +18,12 @@ use mmb_core::prelude::verify_decomposition;
 use mmb_instances::climate::{climate, ClimateParams};
 
 fn main() {
-    let wl = climate(&ClimateParams { lon: 96, lat: 48, storms: 6, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 96,
+        lat: 48,
+        storms: 6,
+        ..Default::default()
+    });
     let k = 16;
     println!(
         "climate workload: {} regions, {} couplings, {k} machines",
@@ -28,8 +33,11 @@ fn main() {
 
     // One validated instance, three algorithms, identical scoring.
     let inst = Instance::from_grid(wl.grid, wl.costs, wl.weights).expect("valid instance");
-    let algos: [&dyn Partitioner; 3] =
-        [&Theorem4Pipeline::default(), &Lpt, &RecursiveBisection { kst: false }];
+    let algos: [&dyn Partitioner; 3] = [
+        &Theorem4Pipeline::default(),
+        &Lpt,
+        &RecursiveBisection { kst: false },
+    ];
     for algo in algos {
         let chi = algo.partition(&inst, k).expect("valid instance");
         let r = verify_decomposition(inst.graph(), inst.costs(), inst.weights(), &chi);

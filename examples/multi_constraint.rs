@@ -10,7 +10,11 @@ use mmb_core::api::{Instance, Solver};
 use mmb_instances::climate::{climate, ClimateParams};
 
 fn main() {
-    let wl = climate(&ClimateParams { lon: 64, lat: 32, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 64,
+        lat: 32,
+        ..Default::default()
+    });
     let n = wl.grid.graph.num_vertices();
     let k = 8;
 
@@ -28,18 +32,27 @@ fn main() {
         .and_then(|i| i.with_extra_measure(mem.clone()))
         .and_then(|i| i.with_extra_measure(io.clone()))
         .expect("valid instance");
-    let solver = Solver::for_instance(&inst).classes(k).build().expect("valid configuration");
+    let solver = Solver::for_instance(&inst)
+        .classes(k)
+        .build()
+        .expect("valid configuration");
     let report = solver.solve();
 
     println!("multi-balanced decomposition of {n} jobs into {k} parts:\n");
-    println!("{:<10} {:>12} {:>12} {:>10}", "resource", "max class", "avg class", "max/avg");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "resource", "max class", "avg class", "max/avg"
+    );
     for (name, m) in [("runtime", &runtime), ("memory", &mem), ("io", &io)] {
         let cm = report.coloring.class_measures(m);
         let avg: f64 = cm.iter().sum::<f64>() / k as f64;
         let max = cm.iter().cloned().fold(0.0, f64::max);
         println!("{name:<10} {max:>12.1} {avg:>12.1} {:>10.2}", max / avg);
     }
-    println!("\nruntime strictly balanced: {}", report.is_strictly_balanced());
+    println!(
+        "\nruntime strictly balanced: {}",
+        report.is_strictly_balanced()
+    );
     println!("max communication per part: {:.1}", report.max_boundary);
     assert!(report.is_strictly_balanced());
 }

@@ -14,7 +14,9 @@ fn main() {
     let grid = GridGraph::lattice(&[32, 32]);
     let n = grid.graph.num_vertices();
     let weights: Vec<f64> = (0..n).map(|v| 1.0 + ((v * 37) % 7) as f64).collect();
-    let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 3) as f64).collect();
+    let costs: Vec<f64> = (0..grid.graph.num_edges())
+        .map(|e| 1.0 + (e % 3) as f64)
+        .collect();
     let inst = Instance::from_grid(grid, costs, weights).expect("valid instance");
 
     // 2. A reusable solver for k = 8 parts. The splitter is auto-selected
@@ -37,10 +39,17 @@ fn main() {
     let report = solver.solve();
 
     // 4. Inspect the guarantees, straight from the report.
-    println!("strictly balanced partition into {} parts of a {n}-vertex grid", report.k);
+    println!(
+        "strictly balanced partition into {} parts of a {n}-vertex grid",
+        report.k
+    );
     println!(
         "  class weights:   {:?}",
-        report.class_weights.iter().map(|w| *w as i64).collect::<Vec<_>>()
+        report
+            .class_weights
+            .iter()
+            .map(|w| *w as i64)
+            .collect::<Vec<_>>()
     );
     println!(
         "  balance slack:   ±{:.2} allowed (eq. 1), worst deviation {:.2}",

@@ -17,11 +17,8 @@ fn main() {
     // Exhaustively certified mini example first: every balanced separation
     // of the 3×3 grid costs at least…
     let mini = GridGraph::lattice(&[3, 3]);
-    let b = min_balanced_separation_cost(
-        &mini.graph,
-        &vec![1.0; mini.graph.num_edges()],
-        &[1.0; 9],
-    );
+    let b =
+        min_balanced_separation_cost(&mini.graph, &vec![1.0; mini.graph.num_edges()], &[1.0; 9]);
     println!("exhaustive certificate: every balanced separation of the 3×3 grid costs ≥ {b:.1}\n");
 
     // The real instance: G̃ = ⌊k/4⌋ disjoint copies of a 12×12 grid. The
@@ -49,7 +46,10 @@ fn main() {
         &RecursiveBisection { kst: false },
         &Multilevel::default(),
     ];
-    println!("{:<16} {:>10} {:>10} {:>12}", "algorithm", "avg ∂", "≥ LB?", "rough-bal?");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "algorithm", "avg ∂", "≥ LB?", "rough-bal?"
+    );
     for algo in algos {
         let chi = algo.partition(&inst, k).expect("valid instance");
         let (avg, lb, rough) = tight.check(&chi);

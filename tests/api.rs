@@ -21,7 +21,7 @@ use mmb_core::pipeline::{decompose, PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::gen::misc::path;
 use mmb_graph::gen::tree::random_tree;
-use mmb_graph::{VertexSet, VertexId};
+use mmb_graph::{VertexId, VertexSet};
 use mmb_splitters::grid::GridSplitter;
 use mmb_splitters::recording::RecordingSplitter;
 use mmb_splitters::tree::TreeSplitter;
@@ -29,11 +29,15 @@ use mmb_splitters::Splitter;
 use proptest::prelude::*;
 
 fn det_costs(m: usize, seed: u64) -> Vec<f64> {
-    (0..m).map(|e| 0.5 + ((e as u64 ^ seed) % 7) as f64).collect()
+    (0..m)
+        .map(|e| 0.5 + ((e as u64 ^ seed) % 7) as f64)
+        .collect()
 }
 
 fn det_weights(n: usize, seed: u64) -> Vec<f64> {
-    (0..n).map(|v| 1.0 + ((seed >> (v % 53)) & 15) as f64).collect()
+    (0..n)
+        .map(|v| 1.0 + ((seed >> (v % 53)) & 15) as f64)
+        .collect()
 }
 
 proptest! {
@@ -144,7 +148,11 @@ fn auto_selects_order_splitter_on_paths() {
     assert!(report.is_strictly_balanced());
     // A path split into 4 strictly balanced classes by position prefixes
     // cuts very few edges; the order splitter must exploit the structure.
-    assert!(report.max_boundary <= 6.0, "path boundary {}", report.max_boundary);
+    assert!(
+        report.max_boundary <= 6.0,
+        "path boundary {}",
+        report.max_boundary
+    );
 }
 
 #[test]
@@ -177,7 +185,9 @@ static CONSTRUCTIONS: AtomicUsize = AtomicUsize::new(0);
 impl<'g> CountingSplitter<'g> {
     fn new(grid: &'g GridGraph, costs: &[f64]) -> Self {
         CONSTRUCTIONS.fetch_add(1, Ordering::SeqCst);
-        Self { inner: GridSplitter::new(grid, costs) }
+        Self {
+            inner: GridSplitter::new(grid, costs),
+        }
     }
 }
 
@@ -200,8 +210,7 @@ fn built_solver_reuses_its_splitter_across_solves() {
     // One construction, recorded; every split call lands on this object.
     let counting = CountingSplitter::new(&grid, &costs);
     let rec = RecordingSplitter::new(counting, &grid.graph, &costs);
-    let inst =
-        Instance::from_grid(grid.clone(), costs.clone(), weights.clone()).unwrap();
+    let inst = Instance::from_grid(grid.clone(), costs.clone(), weights.clone()).unwrap();
     let solver = Solver::for_instance(&inst)
         .classes(6)
         .splitter(SplitterChoice::Custom(Box::new(&rec)))
@@ -236,8 +245,7 @@ fn boxed_and_arc_splitters_run_through_decompose() {
     // S = Box<dyn Splitter> (the Box blanket impl)…
     let d_box = decompose(&grid.graph, &costs, &weights, 4, &boxed, &[], &cfg).unwrap();
     // …and S = dyn Splitter (unsized) directly.
-    let d_dyn =
-        decompose(&grid.graph, &costs, &weights, 4, boxed.as_ref(), &[], &cfg).unwrap();
+    let d_dyn = decompose(&grid.graph, &costs, &weights, 4, boxed.as_ref(), &[], &cfg).unwrap();
 
     // `Arc<T>: Sync` needs `T: Send`, so an `Arc`-boxed trait-object
     // splitter names `Send` too (all concrete splitters qualify).
@@ -266,7 +274,10 @@ fn builder_errors_are_typed() {
             .splitter(SplitterChoice::Tree)
             .build()
             .unwrap_err(),
-        SolveError::SplitterUnavailable { requested: "tree", structure: "grid" }
+        SolveError::SplitterUnavailable {
+            requested: "tree",
+            structure: "grid"
+        }
     );
     // Grid splitter without geometry.
     let tree = random_tree(20, 3, 1);
@@ -278,12 +289,19 @@ fn builder_errors_are_typed() {
             .splitter(SplitterChoice::Grid)
             .build()
             .unwrap_err(),
-        SolveError::SplitterUnavailable { requested: "grid", structure: "forest" }
+        SolveError::SplitterUnavailable {
+            requested: "grid",
+            structure: "forest"
+        }
     );
     // Invalid splittability exponent is a typed error, not a panic.
     for bad_p in [0.5, f64::NAN, f64::INFINITY] {
         assert!(matches!(
-            Solver::for_instance(&tree_inst).classes(2).p(bad_p).build().unwrap_err(),
+            Solver::for_instance(&tree_inst)
+                .classes(2)
+                .p(bad_p)
+                .build()
+                .unwrap_err(),
             SolveError::InvalidExponent { .. }
         ));
     }
@@ -314,8 +332,16 @@ fn explicit_choices_and_auto_agree_where_applicable() {
     // Order/Bfs choices still deliver strictness.
     let g = path(30);
     let inst = Instance::new(g, vec![1.0; 29], vec![1.0; 30]).unwrap();
-    for choice in [SplitterChoice::Auto, SplitterChoice::Order, SplitterChoice::Bfs] {
-        let solver = Solver::for_instance(&inst).classes(3).splitter(choice).build().unwrap();
+    for choice in [
+        SplitterChoice::Auto,
+        SplitterChoice::Order,
+        SplitterChoice::Bfs,
+    ] {
+        let solver = Solver::for_instance(&inst)
+            .classes(3)
+            .splitter(choice)
+            .build()
+            .unwrap();
         assert!(solver.solve().is_strictly_balanced());
     }
     // Tree choice also applies (a path is a forest).
@@ -340,7 +366,11 @@ fn extra_measures_ride_the_instance() {
         .unwrap()
         .with_extra_measure(mem.clone())
         .unwrap();
-    let report = Solver::for_instance(&inst).classes(6).build().unwrap().solve();
+    let report = Solver::for_instance(&inst)
+        .classes(6)
+        .build()
+        .unwrap()
+        .solve();
     assert!(report.is_strictly_balanced());
     let cm = report.coloring.class_measures(&mem);
     let avg: f64 = mem.iter().sum::<f64>() / 6.0;
@@ -357,7 +387,11 @@ fn report_class_table_is_consistent() {
     let m = grid.graph.num_edges();
     let weights: Vec<f64> = (0..64).map(|v| 1.0 + (v % 2) as f64).collect();
     let inst = Instance::from_grid(grid, vec![1.0; m], weights.clone()).unwrap();
-    let report = Solver::for_instance(&inst).classes(4).build().unwrap().solve();
+    let report = Solver::for_instance(&inst)
+        .classes(4)
+        .build()
+        .unwrap()
+        .solve();
     let table = report.class_table();
     assert_eq!(table.len(), 4);
     let total_w: f64 = table.iter().map(|r| r.weight).sum();
@@ -392,7 +426,12 @@ fn solve_many_matches_individual_solves_across_families() {
     let reference: Vec<_> = instances
         .iter()
         .map(|inst| {
-            Solver::for_instance(inst).classes(k).build().unwrap().solve().coloring
+            Solver::for_instance(inst)
+                .classes(k)
+                .build()
+                .unwrap()
+                .solve()
+                .coloring
         })
         .collect();
     for threads in [1usize, 2, 4] {
@@ -406,7 +445,9 @@ fn solve_many_matches_individual_solves_across_families() {
     }
     // Build failures surface per item, not as a panic.
     let errs = solve_many(&instances, 0, &cfg);
-    assert!(errs.iter().all(|r| matches!(r, Err(SolveError::ZeroColors))));
+    assert!(errs
+        .iter()
+        .all(|r| matches!(r, Err(SolveError::ZeroColors))));
 }
 
 #[test]
@@ -414,8 +455,15 @@ fn report_records_stage_timings() {
     let grid = GridGraph::lattice(&[8, 8]);
     let m = grid.graph.num_edges();
     let inst = Instance::from_grid(grid, vec![1.0; m], vec![1.0; 64]).unwrap();
-    let report = Solver::for_instance(&inst).classes(4).build().unwrap().solve();
-    assert!(report.stage_millis.iter().all(|&ms| ms.is_finite() && ms >= 0.0));
+    let report = Solver::for_instance(&inst)
+        .classes(4)
+        .build()
+        .unwrap()
+        .solve();
+    assert!(report
+        .stage_millis
+        .iter()
+        .all(|&ms| ms.is_finite() && ms >= 0.0));
     assert!(report.stage_millis.iter().sum::<f64>() > 0.0);
 }
 
@@ -435,8 +483,7 @@ fn corpus_solver_reuse_matches_fresh_builds() {
     for family in corpus.families() {
         for entry in corpus.family_entries(family) {
             let inst = &entry.instance;
-            let amortized =
-                Solver::for_instance(inst).classes(entry.k).build().unwrap();
+            let amortized = Solver::for_instance(inst).classes(entry.k).build().unwrap();
             let first = amortized.solve();
             for round in 0..2 {
                 let reused = amortized.solve();
@@ -445,8 +492,11 @@ fn corpus_solver_reuse_matches_fresh_builds() {
                     "{}: reuse round {round} diverged",
                     entry.name
                 );
-                let fresh =
-                    Solver::for_instance(inst).classes(entry.k).build().unwrap().solve();
+                let fresh = Solver::for_instance(inst)
+                    .classes(entry.k)
+                    .build()
+                    .unwrap()
+                    .solve();
                 assert_eq!(
                     fresh.coloring, first.coloring,
                     "{}: fresh build round {round} diverged",
@@ -480,8 +530,10 @@ fn corpus_families_resolve_expected_splitters() {
     // splitter, and the non-embeddable families fall back to BFS.
     let corpus = mmb_instances::corpus::Corpus::quick();
     for entry in &corpus {
-        let solver =
-            Solver::for_instance(&entry.instance).classes(entry.k).build().unwrap();
+        let solver = Solver::for_instance(&entry.instance)
+            .classes(entry.k)
+            .build()
+            .unwrap();
         match entry.family {
             "grid" | "hypercube" => assert_eq!(solver.family(), "grid", "{}", entry.name),
             "tree" => assert_eq!(solver.family(), "forest", "{}", entry.name),
@@ -510,5 +562,9 @@ fn path_positions_used_by_auto_follow_the_walk() {
     assert_eq!(solver.family(), "path");
     let report = solver.solve();
     assert!(report.is_strictly_balanced());
-    assert!(report.max_boundary <= 6.0, "scrambled path boundary {}", report.max_boundary);
+    assert!(
+        report.max_boundary <= 6.0,
+        "scrambled path boundary {}",
+        report.max_boundary
+    );
 }

@@ -70,14 +70,24 @@ fn exhaustive_bnb_is_the_oracle_bit_for_bit() {
         .map(|e| (e.name.as_str(), &e.instance))
         .collect();
     cases.extend(bespoke.iter().map(|(name, inst)| (name.as_str(), inst)));
-    assert!(cases.len() >= 10, "differential base too small: {}", cases.len());
+    assert!(
+        cases.len() >= 10,
+        "differential base too small: {}",
+        cases.len()
+    );
     for (name, inst) in &cases {
         for k in [2usize, 3] {
-            let oracle = exact_min_max_boundary(inst, k)
-                .unwrap_or_else(|e| panic!("{name} k={k}: {e}"));
+            let oracle =
+                exact_min_max_boundary(inst, k).unwrap_or_else(|e| panic!("{name} k={k}: {e}"));
             let sol = bnb::solve(inst, k, &BnbConfig::exhaustive()).unwrap();
-            assert!(sol.proven_optimal, "{name} k={k}: exhaustive run not proven");
-            assert_eq!(sol.coloring, oracle.coloring, "{name} k={k}: colorings differ");
+            assert!(
+                sol.proven_optimal,
+                "{name} k={k}: exhaustive run not proven"
+            );
+            assert_eq!(
+                sol.coloring, oracle.coloring,
+                "{name} k={k}: colorings differ"
+            );
             assert_eq!(
                 sol.max_boundary.to_bits(),
                 oracle.max_boundary.to_bits(),
@@ -102,7 +112,9 @@ fn incumbent_never_worse_than_the_pipeline_corpus_wide() {
     let cfg = BnbConfig::with_node_budget(20_000);
     for entry in &Corpus::quick() {
         let inst = &entry.instance;
-        let pipe = Theorem4Pipeline::default().partition(inst, entry.k).unwrap();
+        let pipe = Theorem4Pipeline::default()
+            .partition(inst, entry.k)
+            .unwrap();
         let pipe_cost = pipe.max_boundary_cost(inst.graph(), inst.costs());
         let sol = bnb::solve(inst, entry.k, &cfg).unwrap();
         assert!(
@@ -149,8 +161,10 @@ fn certified_gap_is_monotone_non_increasing_in_the_node_budget() {
     let hyper = instance(hypercube(4));
     let med = Corpus::medium();
     let e = &med.entries()[0];
-    let cases: Vec<(&str, &Instance, usize)> =
-        vec![("hypercube-16", &hyper, 3), (e.name.as_str(), &e.instance, e.k)];
+    let cases: Vec<(&str, &Instance, usize)> = vec![
+        ("hypercube-16", &hyper, 3),
+        (e.name.as_str(), &e.instance, e.k),
+    ];
     for (name, inst, k) in &cases {
         let budgets = [0u64, 100, 1_000, 10_000, 100_000];
         let mut prev_ratio = f64::INFINITY;
@@ -194,8 +208,14 @@ fn budget_zero_returns_exactly_the_pipeline_coloring() {
     for entry in Corpus::small().entries().iter().take(4) {
         let inst = &entry.instance;
         let sol = bnb::solve(inst, entry.k, &BnbConfig::with_node_budget(0)).unwrap();
-        let pipe = Theorem4Pipeline::default().partition(inst, entry.k).unwrap();
-        assert_eq!(sol.coloring, pipe, "{}: budget-0 run must return the seed", entry.name);
+        let pipe = Theorem4Pipeline::default()
+            .partition(inst, entry.k)
+            .unwrap();
+        assert_eq!(
+            sol.coloring, pipe,
+            "{}: budget-0 run must return the seed",
+            entry.name
+        );
         assert_eq!(sol.nodes, 0, "{}", entry.name);
     }
 }
@@ -203,8 +223,15 @@ fn budget_zero_returns_exactly_the_pipeline_coloring() {
 #[test]
 fn solver_solve_anytime_is_deterministic_under_both_scratch_policies() {
     let solve = |scratch: ScratchPolicy, inst: &Instance, k: usize| {
-        let cfg = PipelineConfig { scratch, ..PipelineConfig::default() };
-        let solver = Solver::for_instance(inst).classes(k).config(cfg).build().unwrap();
+        let cfg = PipelineConfig {
+            scratch,
+            ..PipelineConfig::default()
+        };
+        let solver = Solver::for_instance(inst)
+            .classes(k)
+            .config(cfg)
+            .build()
+            .unwrap();
         solver.solve_anytime(&BnbConfig::with_node_budget(5_000))
     };
     for entry in Corpus::small().entries().iter().take(6) {
@@ -227,7 +254,9 @@ fn solver_solve_anytime_is_deterministic_under_both_scratch_policies() {
         assert_eq!(gr.upper.to_bits(), gt.upper.to_bits(), "{}", entry.name);
         assert_eq!(gr.certifier, gt.certifier, "{}", entry.name);
         // solve_anytime's report is never worse than the pipeline's.
-        let plain = Theorem4Pipeline::default().partition(inst, entry.k).unwrap();
+        let plain = Theorem4Pipeline::default()
+            .partition(inst, entry.k)
+            .unwrap();
         let plain_cost = plain.max_boundary_cost(inst.graph(), inst.costs());
         assert!(
             reuse.max_boundary <= plain_cost + 1e-9 * (1.0 + plain_cost),
@@ -250,8 +279,14 @@ fn interrupt_clock_truncates_deterministically_with_a_sound_gap() {
     let a = run();
     let b = run();
     assert!(!a.proven_optimal, "the clock must truncate this search");
-    assert_eq!(a.nodes, 777, "stop is checked before counting: exact prefix");
-    assert_eq!(a.coloring, b.coloring, "interrupted runs must be bit-identical");
+    assert_eq!(
+        a.nodes, 777,
+        "stop is checked before counting: exact prefix"
+    );
+    assert_eq!(
+        a.coloring, b.coloring,
+        "interrupted runs must be bit-identical"
+    );
     assert_eq!(a.max_boundary.to_bits(), b.max_boundary.to_bits());
     assert_eq!(a.nodes, b.nodes);
     assert_eq!(a.gap.lower.to_bits(), b.gap.lower.to_bits());
@@ -273,15 +308,23 @@ fn interrupt_clock_truncates_deterministically_with_a_sound_gap() {
         "optimum {opt} above the truncated upper bound {}",
         a.gap.upper
     );
-    assert!(!a.gap.certifier.is_empty(), "truncated gap must name its certifier");
+    assert!(
+        !a.gap.certifier.is_empty(),
+        "truncated gap must name its certifier"
+    );
 }
 
 #[test]
 fn bnb_partitioner_exposes_the_engine_on_the_trait_surface() {
-    let part = BnbPartitioner { cfg: BnbConfig::with_node_budget(10_000) };
+    let part = BnbPartitioner {
+        cfg: BnbConfig::with_node_budget(10_000),
+    };
     assert_eq!(part.name(), "bnb (anytime)");
     let inst = instance(path(12));
     let chi = part.partition(&inst, 2).unwrap();
     let direct = bnb::solve(&inst, 2, &part.cfg).unwrap();
-    assert_eq!(chi, direct.coloring, "trait adapter must run the same search");
+    assert_eq!(
+        chi, direct.coloring,
+        "trait adapter must run the same search"
+    );
 }

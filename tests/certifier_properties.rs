@@ -63,11 +63,16 @@ fn weights(wsel: usize, n: usize, seed: u64) -> Vec<f64> {
 
 /// Deterministic positive edge costs with some spread.
 fn costs(m: usize, seed: u64) -> Vec<f64> {
-    (0..m).map(|e| 0.5 + ((e as u64 * 7 + seed) % 5) as f64 * 0.3).collect()
+    (0..m)
+        .map(|e| 0.5 + ((e as u64 * 7 + seed) % 5) as f64 * 0.3)
+        .collect()
 }
 
 fn new_certifiers() -> Vec<Box<dyn LowerBound>> {
-    vec![Box::new(EdgePackingBound::default()), Box::new(CutPairBound::default())]
+    vec![
+        Box::new(EdgePackingBound::default()),
+        Box::new(CutPairBound::default()),
+    ]
 }
 
 proptest! {
@@ -119,10 +124,12 @@ fn edge_packing_dominates_per_vertex_packing_on_every_corpus_entry() {
     for corpus in [Corpus::small(), Corpus::quick(), Corpus::medium()] {
         for entry in corpus.entries() {
             let inst = &entry.instance;
-            let Some(base) = pack.certify(inst, entry.k) else { continue };
-            let refined = epack
-                .certify(inst, entry.k)
-                .unwrap_or_else(|| panic!("{}: edge-packing declined where packing fired", entry.name));
+            let Some(base) = pack.certify(inst, entry.k) else {
+                continue;
+            };
+            let refined = epack.certify(inst, entry.k).unwrap_or_else(|| {
+                panic!("{}: edge-packing declined where packing fired", entry.name)
+            });
             comparisons += 1;
             // Dominance is by construction: a 0/1 knapsack can only pack
             // less than its fractional relaxation, so the residual cut
@@ -136,7 +143,10 @@ fn edge_packing_dominates_per_vertex_packing_on_every_corpus_entry() {
             );
         }
     }
-    assert!(comparisons >= 10, "only {comparisons} packing/edge-packing comparisons");
+    assert!(
+        comparisons >= 10,
+        "only {comparisons} packing/edge-packing comparisons"
+    );
 }
 
 #[test]
@@ -150,14 +160,20 @@ fn cut_pair_fires_on_the_forced_pair_corpus_entry() {
     let cert = CutPairBound::default()
         .certify(&entry.instance, entry.k)
         .expect("twin weights force a separated pair");
-    assert!(cert.value > 0.0, "cut-pair must certify a positive bound on the twin entry");
+    assert!(
+        cert.value > 0.0,
+        "cut-pair must certify a positive bound on the twin entry"
+    );
     // The derivation names a genuinely heavy pair.
     let Derivation::CutPair { u, v, .. } = &cert.derivation else {
         panic!("cut-pair certificate must carry a CutPair derivation");
     };
     let w = entry.instance.weights();
     let n = entry.instance.num_vertices() as f64;
-    assert!(w[*u as usize] + w[*v as usize] >= 4.0 * n - 1e-9, "not the planted pair");
+    assert!(
+        w[*u as usize] + w[*v as usize] >= 4.0 * n - 1e-9,
+        "not the planted pair"
+    );
     let replayed = cert.derivation.replay(&entry.instance, entry.k).unwrap();
     assert!((replayed - cert.value).abs() <= tol(cert.value));
 }
@@ -169,8 +185,16 @@ fn doctored_derivations_are_rejected_on_replay() {
     let inst = Instance::new(path(8), costs(7, 3), weights(1, 8, 3)).unwrap();
     let k = 2;
 
-    let cert = CutPairBound::default().certify(&inst, k).expect("forced pair present");
-    if let Derivation::CutPair { u, v, cut_cost, side } = &cert.derivation {
+    let cert = CutPairBound::default()
+        .certify(&inst, k)
+        .expect("forced pair present");
+    if let Derivation::CutPair {
+        u,
+        v,
+        cut_cost,
+        side,
+    } = &cert.derivation
+    {
         let doctored = Derivation::CutPair {
             u: *u,
             v: *v,
@@ -185,8 +209,14 @@ fn doctored_derivations_are_rejected_on_replay() {
         panic!("cut-pair certificate must carry a CutPair derivation");
     }
 
-    let cert = EdgePackingBound::default().certify(&inst, k).expect("positive cut mass");
-    if let Derivation::EdgePacking { per_vertex_total, vertex_budget } = cert.derivation {
+    let cert = EdgePackingBound::default()
+        .certify(&inst, k)
+        .expect("positive cut mass");
+    if let Derivation::EdgePacking {
+        per_vertex_total,
+        vertex_budget,
+    } = cert.derivation
+    {
         let doctored = Derivation::EdgePacking {
             per_vertex_total: per_vertex_total * 2.0 + 1.0,
             vertex_budget,

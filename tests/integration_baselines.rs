@@ -15,7 +15,11 @@ use mmb_splitters::grid::GridSplitter;
 fn greedy_balances_but_cuts_everything() {
     // Flat weights on the climate mesh: greedy is strictly balanced but its
     // boundary is within a constant of "cut every edge".
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let n = g.num_vertices();
     let k = 8;
@@ -34,14 +38,26 @@ fn greedy_balances_but_cuts_everything() {
 
 #[test]
 fn ours_beats_greedy_on_boundary_and_rb_on_balance() {
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let n = g.num_vertices();
     let k = 12;
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
 
-    let ours = decompose(g, &wl.costs, &wl.weights, k, &sp, &[], &PipelineConfig::default())
-        .unwrap();
+    let ours = decompose(
+        g,
+        &wl.costs,
+        &wl.weights,
+        k,
+        &sp,
+        &[],
+        &PipelineConfig::default(),
+    )
+    .unwrap();
     let greedy = lpt(n, k, &wl.weights).unwrap();
     let rb = recursive_bisection(g, &sp, &wl.weights, k).unwrap();
 
@@ -65,15 +81,27 @@ fn ours_beats_greedy_on_boundary_and_rb_on_balance() {
 fn rb_is_not_strict_under_adversarial_weights() {
     // Spike weights break recursive bisection's balance (it has no
     // strictness mechanism), while the pipeline stays exact.
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let n = g.num_vertices();
     let k = 16;
     let weights = WeightFamily::Spike.generate(n, 4);
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
     let rb = recursive_bisection(g, &sp, &weights, k).unwrap();
-    let ours = decompose(g, &wl.costs, &weights, k, &sp, &[], &PipelineConfig::default())
-        .unwrap();
+    let ours = decompose(
+        g,
+        &wl.costs,
+        &weights,
+        k,
+        &sp,
+        &[],
+        &PipelineConfig::default(),
+    )
+    .unwrap();
     assert!(ours.coloring.is_strictly_balanced(&weights));
     // RB has no strictness mechanism, so its defect is unconstrained (its
     // sign depends on the RNG stream — asserting on it is flaky). The
@@ -88,22 +116,28 @@ fn rb_is_not_strict_under_adversarial_weights() {
 
 #[test]
 fn kl_improves_rb_without_destroying_it() {
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let k = 8;
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
     let rb = recursive_bisection(g, &sp, &wl.weights, k).unwrap();
     let refined = refine(g, &wl.costs, &wl.weights, &rb, &KlParams::default()).unwrap();
-    let total = |chi: &mmb_graph::Coloring| {
-        chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()
-    };
+    let total = |chi: &mmb_graph::Coloring| chi.boundary_costs(g, &wl.costs).iter().sum::<f64>();
     assert!(total(&refined) <= total(&rb) + 1e-9);
     assert!(refined.is_total());
 }
 
 #[test]
 fn kst_variant_tracks_costs() {
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let k = 8;
     let sp = GridSplitter::new(&wl.grid, &wl.costs);
@@ -118,15 +152,17 @@ fn kst_variant_tracks_costs() {
 
 #[test]
 fn multilevel_and_round_robin_extremes() {
-    let wl = climate(&ClimateParams { lon: 48, lat: 24, ..Default::default() });
+    let wl = climate(&ClimateParams {
+        lon: 48,
+        lat: 24,
+        ..Default::default()
+    });
     let g = &wl.grid.graph;
     let n = g.num_vertices();
     let k = 8;
     let ml = multilevel(g, &wl.costs, &wl.weights, k, &MultilevelParams::default()).unwrap();
     let rr = round_robin(n, k).unwrap();
     // Multilevel crushes round-robin on total cut.
-    let total = |chi: &mmb_graph::Coloring| {
-        chi.boundary_costs(g, &wl.costs).iter().sum::<f64>()
-    };
+    let total = |chi: &mmb_graph::Coloring| chi.boundary_costs(g, &wl.costs).iter().sum::<f64>();
     assert!(total(&ml) < 0.5 * total(&rr));
 }

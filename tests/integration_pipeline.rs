@@ -38,12 +38,21 @@ fn check_strict<S: Splitter + ?Sized>(
 fn grids_times_weight_families() {
     let grid = GridGraph::lattice(&[20, 20]);
     let n = grid.graph.num_vertices();
-    let costs: Vec<f64> = (0..grid.graph.num_edges()).map(|e| 1.0 + (e % 4) as f64).collect();
+    let costs: Vec<f64> = (0..grid.graph.num_edges())
+        .map(|e| 1.0 + (e % 4) as f64)
+        .collect();
     let sp = GridSplitter::new(&grid, &costs);
     for fam in ALL_FAMILIES {
         let weights = fam.generate(n, 77);
         for k in [2usize, 7, 16] {
-            check_strict(&grid.graph, &costs, &weights, k, &sp, &format!("{}/k{k}", fam.name()));
+            check_strict(
+                &grid.graph,
+                &costs,
+                &weights,
+                k,
+                &sp,
+                &format!("{}/k{k}", fam.name()),
+            );
         }
     }
 }
@@ -56,7 +65,12 @@ fn three_dimensional_grid() {
     let sp = GridSplitter::new(&grid, &costs);
     let weights = WeightFamily::PowerLaw.generate(n, 5);
     let d = decompose(
-        &grid.graph, &costs, &weights, 9, &sp, &[],
+        &grid.graph,
+        &costs,
+        &weights,
+        9,
+        &sp,
+        &[],
         &PipelineConfig::with_p(1.5),
     )
     .unwrap();
@@ -149,8 +163,16 @@ fn stage_outputs_are_consistent() {
     let costs = vec![1.0; grid.graph.num_edges()];
     let sp = GridSplitter::new(&grid, &costs);
     let weights = WeightFamily::Uniform.generate(n, 8);
-    let d = decompose(&grid.graph, &costs, &weights, 10, &sp, &[], &PipelineConfig::default())
-        .unwrap();
+    let d = decompose(
+        &grid.graph,
+        &costs,
+        &weights,
+        10,
+        &sp,
+        &[],
+        &PipelineConfig::default(),
+    )
+    .unwrap();
     // Stage 1 and 2 are total colorings too.
     assert!(d.stages.0.is_total());
     assert!(d.stages.1.is_total());

@@ -27,19 +27,37 @@ fn nobody_beats_the_certificate() {
     let sp = GridSplitter::new(&twin, &tight.union.costs);
 
     let ours = decompose(
-        g, &tight.union.costs, &tight.weights, k, &sp, &[], &PipelineConfig::default(),
+        g,
+        &tight.union.costs,
+        &tight.weights,
+        k,
+        &sp,
+        &[],
+        &PipelineConfig::default(),
     )
     .unwrap()
     .coloring;
     let candidates = [
         ("ours", ours),
         ("lpt", lpt(g.num_vertices(), k, &tight.weights).unwrap()),
-        ("first_fit", first_fit(g.num_vertices(), k, &tight.weights).unwrap()),
-        ("rb", recursive_bisection(g, &sp, &tight.weights, k).unwrap()),
+        (
+            "first_fit",
+            first_fit(g.num_vertices(), k, &tight.weights).unwrap(),
+        ),
+        (
+            "rb",
+            recursive_bisection(g, &sp, &tight.weights, k).unwrap(),
+        ),
         (
             "multilevel",
-            multilevel(g, &tight.union.costs, &tight.weights, k, &MultilevelParams::default())
-                .unwrap(),
+            multilevel(
+                g,
+                &tight.union.costs,
+                &tight.weights,
+                k,
+                &MultilevelParams::default(),
+            )
+            .unwrap(),
         ),
     ];
     for (name, chi) in &candidates {
@@ -65,18 +83,19 @@ fn upper_and_lower_sandwich() {
         let g = &tight.union.graph;
         let sp = GridSplitter::new(&twin, &tight.union.costs);
         let d = decompose(
-            g, &tight.union.costs, &tight.weights, k, &sp, &[], &PipelineConfig::default(),
+            g,
+            &tight.union.costs,
+            &tight.weights,
+            k,
+            &sp,
+            &[],
+            &PipelineConfig::default(),
         )
         .unwrap();
         let (avg, lb, rough) = tight.check(&d.coloring);
         assert!(rough, "strictly balanced is roughly balanced here");
         assert!(avg >= lb - 1e-9);
-        let upper = bounds::theorem5(
-            2.0,
-            k,
-            total_edge_norm_p(g, &tight.union.costs, 2.0),
-            1.0,
-        );
+        let upper = bounds::theorem5(2.0, k, total_edge_norm_p(g, &tight.union.costs, 2.0), 1.0);
         assert!(
             d.max_boundary() <= 10.0 * upper,
             "k={k}: measured {} far above Theorem 5 bound {upper}",
@@ -98,7 +117,10 @@ fn exhaustive_certificates_on_named_graphs() {
         let costs = vec![1.0; g.num_edges()];
         let w = vec![1.0; g.num_vertices()];
         let b = min_balanced_separation_cost(&g, &costs, &w);
-        assert!((b - expect).abs() < 1e-9, "{name}: got {b}, expected {expect}");
+        assert!(
+            (b - expect).abs() < 1e-9,
+            "{name}: got {b}, expected {expect}"
+        );
     }
 }
 
@@ -116,7 +138,13 @@ fn small_tight_instance_from_exhaustive_base() {
     let g = &tight.union.graph;
     let sp = GridSplitter::new(&twin, &tight.union.costs);
     let d = decompose(
-        g, &tight.union.costs, &tight.weights, k, &sp, &[], &PipelineConfig::default(),
+        g,
+        &tight.union.costs,
+        &tight.weights,
+        k,
+        &sp,
+        &[],
+        &PipelineConfig::default(),
     )
     .unwrap();
     let (avg, lb, rough) = tight.check(&d.coloring);

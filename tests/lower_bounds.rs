@@ -18,9 +18,7 @@
 
 use mmb_bench::standard_baselines;
 use mmb_core::api::{Instance, Partitioner, Solver, Theorem4Pipeline};
-use mmb_core::lower_bounds::{
-    best_lower_bound, certify, standard_certifiers, CertifiedGap,
-};
+use mmb_core::lower_bounds::{best_lower_bound, certify, standard_certifiers, CertifiedGap};
 use mmb_core::oracle::exact_min_max_boundary;
 use mmb_core::pipeline::{PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::lattice::hypercube;
@@ -44,7 +42,9 @@ fn every_certifier_is_below_the_oracle_on_every_small_entry() {
         for k in [2usize, 3] {
             let opt = exact_min_max_boundary(inst, k).unwrap().max_boundary;
             for (i, certifier) in certifiers.iter().enumerate() {
-                let Some(cert) = certifier.certify(inst, k) else { continue };
+                let Some(cert) = certifier.certify(inst, k) else {
+                    continue;
+                };
                 fired[i] += 1;
                 assert!(
                     cert.value <= opt + tol(opt),
@@ -84,7 +84,9 @@ fn lower_bound_never_beaten_corpus_wide() {
         let mut algos: Vec<&dyn Partitioner> = vec![&pipeline];
         algos.extend(baselines.iter().map(|b| b.as_ref()));
         for algo in algos {
-            let Ok(chi) = algo.partition(inst, entry.k) else { continue };
+            let Ok(chi) = algo.partition(inst, entry.k) else {
+                continue;
+            };
             if !chi.is_strictly_balanced(inst.weights()) {
                 continue; // outside the bounds' feasible set
             }
@@ -100,7 +102,10 @@ fn lower_bound_never_beaten_corpus_wide() {
             );
         }
     }
-    assert!(comparisons >= 32, "only {comparisons} strict colorings compared");
+    assert!(
+        comparisons >= 32,
+        "only {comparisons} strict colorings compared"
+    );
 }
 
 #[test]
@@ -193,15 +198,31 @@ fn solve_certified_threads_the_gap_into_the_report() {
         let plain = solver.solve();
         assert!(plain.certified.is_none(), "plain solve must not certify");
         let report = solver.solve_certified();
-        let gap = report.certified.as_ref().expect("certified solve carries a gap");
+        let gap = report
+            .certified
+            .as_ref()
+            .expect("certified solve carries a gap");
         assert_eq!(gap.upper, report.max_boundary, "{}", entry.name);
         assert!(gap.lower > 0.0, "{}: trivial bound", entry.name);
         assert!(gap.lower <= gap.upper + tol(gap.upper), "{}", entry.name);
-        assert!(gap.ratio.is_finite() && gap.ratio >= 1.0 - 1e-9, "{}", entry.name);
-        assert!(!gap.certifier.is_empty() && gap.certifier != "none", "{}", entry.name);
+        assert!(
+            gap.ratio.is_finite() && gap.ratio >= 1.0 - 1e-9,
+            "{}",
+            entry.name
+        );
+        assert!(
+            !gap.certifier.is_empty() && gap.certifier != "none",
+            "{}",
+            entry.name
+        );
         // The free function agrees with the threaded result.
         let direct = certify(inst, entry.k, report.max_boundary);
-        assert_eq!(direct.lower.to_bits(), gap.lower.to_bits(), "{}", entry.name);
+        assert_eq!(
+            direct.lower.to_bits(),
+            gap.lower.to_bits(),
+            "{}",
+            entry.name
+        );
         assert_eq!(direct.certifier, gap.certifier, "{}", entry.name);
         // Certification must not perturb the solve itself.
         assert_eq!(plain.coloring, report.coloring, "{}", entry.name);
@@ -215,8 +236,10 @@ fn certified_gap_composes_with_custom_configs() {
     let corpus = Corpus::quick();
     let entry = corpus.entries().first().unwrap();
     let inst = &entry.instance;
-    let transient_cfg =
-        PipelineConfig { scratch: ScratchPolicy::Transient, ..PipelineConfig::default() };
+    let transient_cfg = PipelineConfig {
+        scratch: ScratchPolicy::Transient,
+        ..PipelineConfig::default()
+    };
     let a = Solver::for_instance(inst)
         .classes(entry.k)
         .build()

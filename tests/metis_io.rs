@@ -16,9 +16,7 @@ use mmb_core::api::{Partitioner, Theorem4Pipeline};
 use mmb_graph::coloring::{Coloring, UNCOLORED};
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::gen::tree::random_tree;
-use mmb_graph::io::{
-    parse_metis, parse_partition, write_metis, write_partition, MetisError,
-};
+use mmb_graph::io::{parse_metis, parse_partition, write_metis, write_partition, MetisError};
 use mmb_instances::corpus::Corpus;
 use proptest::prelude::*;
 
@@ -28,7 +26,12 @@ fn corpus_instances_roundtrip_exactly() {
         let inst = &entry.instance;
         let doc = write_metis(inst.graph(), inst.weights(), inst.costs());
         let back = parse_metis(&doc).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
-        assert_eq!(back.graph.edge_list(), inst.graph().edge_list(), "{}", entry.name);
+        assert_eq!(
+            back.graph.edge_list(),
+            inst.graph().edge_list(),
+            "{}",
+            entry.name
+        );
         assert_eq!(back.weights, inst.weights(), "{}", entry.name);
         assert_eq!(back.costs, inst.costs(), "{}", entry.name);
     }
@@ -131,11 +134,17 @@ fn bad_header_variants() {
     // Empty document.
     assert!(matches!(parse_metis(""), Err(MetisError::BadHeader(_))));
     // Comments only — still no header.
-    assert!(matches!(parse_metis("% nothing\n% here\n"), Err(MetisError::BadHeader(_))));
+    assert!(matches!(
+        parse_metis("% nothing\n% here\n"),
+        Err(MetisError::BadHeader(_))
+    ));
     // Too few fields.
     assert!(matches!(parse_metis("3\n"), Err(MetisError::BadHeader(_))));
     // Too many fields.
-    assert!(matches!(parse_metis("3 3 011 1 9\n"), Err(MetisError::BadHeader(_))));
+    assert!(matches!(
+        parse_metis("3 3 011 1 9\n"),
+        Err(MetisError::BadHeader(_))
+    ));
 }
 
 #[test]
@@ -147,22 +156,40 @@ fn bad_line_variants() {
         other => panic!("{other:?}"),
     }
     // Missing adjacency line for a declared vertex.
-    assert!(matches!(parse_metis("2 1\n2\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(
+        parse_metis("2 1\n2\n"),
+        Err(MetisError::BadLine { .. })
+    ));
     // Neighbor id out of range (ids are 1-based).
-    assert!(matches!(parse_metis("2 1\n3\n1\n"), Err(MetisError::BadLine { .. })));
-    assert!(matches!(parse_metis("2 1\n0\n1\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(
+        parse_metis("2 1\n3\n1\n"),
+        Err(MetisError::BadLine { .. })
+    ));
+    assert!(matches!(
+        parse_metis("2 1\n0\n1\n"),
+        Err(MetisError::BadLine { .. })
+    ));
     // Self-loop.
-    assert!(matches!(parse_metis("2 1\n1\n2\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(
+        parse_metis("2 1\n1\n2\n"),
+        Err(MetisError::BadLine { .. })
+    ));
     // Blank adjacency line under fmt 010 (blank lines are filtered, so
     // the parser reports the later vertex's line as missing).
-    assert!(matches!(parse_metis("2 1 010 1\n\n1.0 1\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(
+        parse_metis("2 1 010 1\n\n1.0 1\n"),
+        Err(MetisError::BadLine { .. })
+    ));
     // Unparsable vertex weight.
     assert!(matches!(
         parse_metis("2 1 010 1\nabc 2\n1.0 1\n"),
         Err(MetisError::BadLine { .. })
     ));
     // Missing edge weight under fmt 001.
-    assert!(matches!(parse_metis("2 1 001\n2\n1 5.0\n"), Err(MetisError::BadLine { .. })));
+    assert!(matches!(
+        parse_metis("2 1 001\n2\n1 5.0\n"),
+        Err(MetisError::BadLine { .. })
+    ));
     // Unparsable edge weight.
     assert!(matches!(
         parse_metis("2 1 001\n2 oops\n1 5.0\n"),
@@ -186,17 +213,32 @@ fn crlf_documents_roundtrip_corpus_wide() {
         for entry in corpus.family_entries(family) {
             let inst = &entry.instance;
             let doc = write_metis(inst.graph(), inst.weights(), inst.costs());
-            let crlf: String =
-                doc.lines().map(|l| format!("{l} \r\n")).collect::<Vec<_>>().concat();
+            let crlf: String = doc
+                .lines()
+                .map(|l| format!("{l} \r\n"))
+                .collect::<Vec<_>>()
+                .concat();
             let back = parse_metis(&crlf).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
-            assert_eq!(back.graph.edge_list(), inst.graph().edge_list(), "{}", entry.name);
+            assert_eq!(
+                back.graph.edge_list(),
+                inst.graph().edge_list(),
+                "{}",
+                entry.name
+            );
             assert_eq!(back.weights, inst.weights(), "{}", entry.name);
             assert_eq!(back.costs, inst.costs(), "{}", entry.name);
         }
         let entry = corpus.family_entries(family).next().unwrap();
-        let chi = Theorem4Pipeline::default().partition(&entry.instance, entry.k).unwrap();
+        let chi = Theorem4Pipeline::default()
+            .partition(&entry.instance, entry.k)
+            .unwrap();
         let part = write_partition(&chi).replace('\n', "\r\n");
-        assert_eq!(parse_partition(&part, entry.k).unwrap(), chi, "{}", entry.name);
+        assert_eq!(
+            parse_partition(&part, entry.k).unwrap(),
+            chi,
+            "{}",
+            entry.name
+        );
     }
 }
 
@@ -205,7 +247,10 @@ fn asymmetric_adjacency_variant() {
     // Vertex 1 lists 2; vertex 2's line does not list 1 back.
     assert_eq!(
         parse_metis("3 2\n2\n3\n2\n").unwrap_err(),
-        MetisError::AsymmetricAdjacency { listed_by: 1, missing_from: 2 }
+        MetisError::AsymmetricAdjacency {
+            listed_by: 1,
+            missing_from: 2
+        }
     );
     assert!(parse_metis("3 2\n2\n3\n2\n")
         .unwrap_err()
@@ -234,12 +279,18 @@ fn edge_count_mismatch_variants() {
     // Header declares more edges than the body provides…
     assert_eq!(
         parse_metis("2 2\n2\n1\n").unwrap_err(),
-        MetisError::EdgeCountMismatch { declared: 2, found: 1 }
+        MetisError::EdgeCountMismatch {
+            declared: 2,
+            found: 1
+        }
     );
     // …and fewer (triangle body, header says 1).
     assert_eq!(
         parse_metis("3 1\n2 3\n1 3\n1 2\n").unwrap_err(),
-        MetisError::EdgeCountMismatch { declared: 1, found: 3 }
+        MetisError::EdgeCountMismatch {
+            declared: 1,
+            found: 3
+        }
     );
 }
 

@@ -36,7 +36,10 @@ use mmb_instances::corpus::Corpus;
 
 fn pipeline_with(scratch: ScratchPolicy) -> Theorem4Pipeline {
     Theorem4Pipeline {
-        cfg: PipelineConfig { scratch, ..PipelineConfig::default() },
+        cfg: PipelineConfig {
+            scratch,
+            ..PipelineConfig::default()
+        },
     }
 }
 
@@ -50,7 +53,11 @@ fn oracle_is_feasible_and_self_consistent_on_every_small_entry() {
             assert!(s.coloring.is_total(), "{} k={k}", entry.name);
             let report =
                 verify_decomposition(inst.graph(), inst.costs(), inst.weights(), &s.coloring);
-            assert!(report.is_valid(), "{} k={k}: oracle output invalid", entry.name);
+            assert!(
+                report.is_valid(),
+                "{} k={k}: oracle output invalid",
+                entry.name
+            );
             assert!(
                 (report.max_boundary - s.max_boundary).abs() <= 1e-9 * (1.0 + s.max_boundary),
                 "{} k={k}: reported {} vs recomputed {}",
@@ -71,11 +78,18 @@ fn oracle_le_pipeline_le_theorem5_under_both_scratch_policies() {
         let inst = &entry.instance;
         for k in [2usize, 3] {
             let oracle = exact_min_max_boundary(inst, k).unwrap();
-            let reuse = pipeline_with(ScratchPolicy::Reuse).partition(inst, k).unwrap();
-            let transient =
-                pipeline_with(ScratchPolicy::Transient).partition(inst, k).unwrap();
+            let reuse = pipeline_with(ScratchPolicy::Reuse)
+                .partition(inst, k)
+                .unwrap();
+            let transient = pipeline_with(ScratchPolicy::Transient)
+                .partition(inst, k)
+                .unwrap();
             // The workspace fast path is a pure optimization.
-            assert_eq!(reuse, transient, "{} k={k}: scratch policies disagree", entry.name);
+            assert_eq!(
+                reuse, transient,
+                "{} k={k}: scratch policies disagree",
+                entry.name
+            );
             assert!(
                 reuse.is_strictly_balanced(inst.weights()),
                 "{} k={k}: pipeline not strict",
@@ -129,7 +143,9 @@ fn oracle_never_beaten_by_any_strictly_balanced_baseline() {
         for k in [2usize, 3] {
             let oracle = exact_min_max_boundary(inst, k).unwrap();
             for algo in &baselines {
-                let Ok(chi) = algo.partition(inst, k) else { continue };
+                let Ok(chi) = algo.partition(inst, k) else {
+                    continue;
+                };
                 assert!(chi.is_total(), "{} k={k} {}", entry.name, algo.name());
                 // Only strictly balanced colorings are in the oracle's
                 // feasible set; non-strict baseline output is exempt.

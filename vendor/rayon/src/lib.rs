@@ -65,7 +65,9 @@ pub fn current_num_threads() -> usize {
             }
         }
     }
-    thread::available_parallelism().map(usize::from).unwrap_or(1)
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
 }
 
 /// Run `f` with [`current_num_threads`] forced to `n` on this thread
@@ -110,7 +112,11 @@ fn par_apply<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec
     // front: placement is by index, so the schedule never affects results.
     type ChunkPair<'a, T, O> = (&'a mut [Option<T>], &'a mut [Option<O>]);
     let mut buckets: Vec<Vec<ChunkPair<'_, T, O>>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, pair) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+    for (i, pair) in slots
+        .chunks_mut(chunk)
+        .zip(out.chunks_mut(chunk))
+        .enumerate()
+    {
         buckets[i % threads].push(pair);
     }
     let f = &f;
@@ -128,7 +134,9 @@ fn par_apply<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec
             });
         }
     });
-    out.into_iter().map(|o| o.expect("worker skipped a chunk")).collect()
+    out.into_iter()
+        .map(|o| o.expect("worker skipped a chunk"))
+        .collect()
 }
 
 /// Run `a` and `b`, potentially in parallel, and return both results —
@@ -165,7 +173,9 @@ where
 {
     /// Materialize `self` as a [`ParIter`].
     fn into_par_iter(self) -> ParIter<Self::Item> {
-        ParIter { items: self.into_iter().collect() }
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
@@ -186,14 +196,18 @@ where
 {
     type Item = <&'a C as IntoIterator>::Item;
     fn par_iter(&'a self) -> ParIter<Self::Item> {
-        ParIter { items: self.into_iter().collect() }
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 impl<T: Send> ParIter<T> {
     /// Map each item on the thread pool, preserving order.
     pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParIter<O> {
-        ParIter { items: par_apply(self.items, f) }
+        ParIter {
+            items: par_apply(self.items, f),
+        }
     }
 
     /// Keep items satisfying `pred` (evaluated in parallel), preserving
@@ -303,8 +317,9 @@ mod tests {
 
     #[test]
     fn map_preserves_order_under_parallelism() {
-        let out: Vec<usize> =
-            with_num_threads(8, || (0..1000usize).into_par_iter().map(|x| x * 2).collect());
+        let out: Vec<usize> = with_num_threads(8, || {
+            (0..1000usize).into_par_iter().map(|x| x * 2).collect()
+        });
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
@@ -318,14 +333,20 @@ mod tests {
                 ids.lock().unwrap().insert(std::thread::current().id());
             });
         });
-        assert!(ids.lock().unwrap().len() >= 2, "expected work on ≥ 2 threads");
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "expected work on ≥ 2 threads"
+        );
     }
 
     #[test]
     fn override_is_scoped_and_nested() {
         let ambient = current_num_threads();
         let (inner, innermost) = with_num_threads(3, || {
-            (current_num_threads(), with_num_threads(5, current_num_threads))
+            (
+                current_num_threads(),
+                with_num_threads(5, current_num_threads),
+            )
         });
         assert_eq!(inner, 3);
         assert_eq!(innermost, 5);
