@@ -70,6 +70,11 @@ fn unholy(p: *const f64) -> f64 {
     unsafe { *p }
 }
 
+// catch-unwind: an unaudited unwind boundary swallowing bugs.
+fn swallow(f: impl FnOnce() -> f64 + std::panic::UnwindSafe) -> f64 {
+    std::panic::catch_unwind(f).unwrap_or(0.0)
+}
+
 // Inside #[cfg(test)], panic/float-eq/nondeterminism rules are off — but
 // the NaN-comparator rule still applies (a nondeterministic comparator is
 // as unsound in a test as in the library).

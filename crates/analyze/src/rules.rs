@@ -11,6 +11,7 @@
 //! | `float-eq` | bare `==` on computed floats | tolerance bugs the strict gates exist to prevent |
 //! | `nondeterminism` | wall clocks / env reads inside deterministic algorithm code | bit-identical replay is a certificate-soundness requirement |
 //! | `unsafe-forbidden` | any `unsafe` at all | all crates `#![forbid(unsafe_code)]` |
+//! | `catch-unwind` | unaudited unwind boundaries masking bugs or observing broken state | PR 8's resilient ladder confines `catch_unwind` to justified isolation boundaries |
 //!
 //! Rules are lexical by design: no type information, no build. That makes
 //! the pass instant, dependency-free and robust — and means each rule is a
@@ -28,6 +29,7 @@ pub const RULE_NAMES: &[&str] = &[
     "float-eq",
     "nondeterminism",
     "unsafe-forbidden",
+    "catch-unwind",
     "bad-pragma",
     "unused-pragma",
 ];
@@ -100,6 +102,7 @@ pub fn check_file(ctx: &FileContext, cfg: &RuleConfig) -> (Vec<Finding>, usize) 
         panic_in_lib(ctx, cfg, &mut raw);
         float_eq(ctx, cfg, &mut raw);
         nondeterminism(ctx, &mut raw);
+        catch_unwind_boundary(ctx, &mut raw);
     }
     unsafe_forbidden(ctx, &mut raw);
 
@@ -477,6 +480,38 @@ fn nondeterminism(ctx: &FileContext, out: &mut Vec<Finding>) {
     }
 }
 
+/// `catch-unwind`: `catch_unwind(…)` call sites in non-test library code.
+///
+/// An unwind boundary silently converts bugs into recoverable values, and
+/// `AssertUnwindSafe` is a claim the compiler cannot check. The workspace
+/// allows `catch_unwind` only at audited isolation boundaries (the
+/// resilient ladder's rung boundary, the batch item boundary); each site
+/// needs a pragma whose reason argues why state observed after the unwind
+/// is sound — typically that everything the closure touches is rebuilt
+/// per call or rolled back on `Drop`. Fires on call sites only (`use`
+/// imports are not boundaries).
+fn catch_unwind_boundary(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let code = &ctx.code;
+    let n = code.len();
+    for i in 0..n {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &code[i];
+        if t.is_ident("catch_unwind") && i + 1 < n && code[i + 1].is_punct("(") {
+            out.push(finding(
+                ctx,
+                "catch-unwind",
+                t.line,
+                "`catch_unwind` in library code: an unaudited unwind boundary can mask \
+                 bugs and observe broken invariants — pragma with the argument for why \
+                 post-unwind state is sound (what is rebuilt or rolled back)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// `unsafe-forbidden`: any `unsafe` token, anywhere.
 ///
 /// Every workspace crate is `#![forbid(unsafe_code)]`; this rule is the
@@ -624,6 +659,25 @@ mod tests {
         // Attributes and slice types must not count as indexing.
         let src = "#[derive(Clone)]\nstruct S { xs: [f64; 4] }\n";
         assert!(run(src, FileClass::Lib, RuleConfig::strict()).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_fires_in_lib_but_not_tests_imports_or_harness() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| g()); }\n";
+        assert_eq!(
+            rules_of(&run(src, FileClass::Lib, RuleConfig::repo())),
+            ["catch-unwind"]
+        );
+        assert!(run(src, FileClass::Harness, RuleConfig::repo()).is_empty());
+        // The import is not a boundary; the cfg(test) call site is exempt.
+        let src = "use std::panic::catch_unwind;\n#[cfg(test)]\nmod tests { fn t() { let _ = catch_unwind(|| 1); } }\n";
+        assert!(run(src, FileClass::Lib, RuleConfig::repo()).is_empty());
+        // A pragma with the soundness argument suppresses it.
+        let src = "// lint: allow(catch-unwind) — state is rebuilt per call\nfn f() { let r = std::panic::catch_unwind(|| g()); }\n";
+        let ctx = FileContext::new("t.rs", src, FileClass::Lib);
+        let (f, suppressed) = check_file(&ctx, &RuleConfig::repo());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

@@ -104,7 +104,7 @@ fn test_regions_relax_panics_but_not_comparators() {
     let in_test_mod: Vec<&str> = report
         .findings
         .iter()
-        .filter(|f| f.line >= 75)
+        .filter(|f| f.line >= 80)
         .map(|f| f.rule)
         .collect();
     assert_eq!(in_test_mod, ["nan-unsafe-cmp"], "{}", report.render_table());

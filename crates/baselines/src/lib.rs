@@ -62,3 +62,4 @@ pub mod greedy;
 pub mod kl;
 pub mod multilevel;
 pub mod recursive_bisection;
+pub mod rung;

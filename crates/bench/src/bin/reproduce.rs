@@ -18,9 +18,16 @@
 //!                                          #   exits 1 on any unpragma'd
 //!                                          #   finding (NaN comparators,
 //!                                          #   hash-order leaks, …)
+//! reproduce chaos [--quick]                # seeded fault schedules ×
+//!                                          #   corpus through the
+//!                                          #   resilient harness; exits 1
+//!                                          #   if any contract prong
+//!                                          #   fails (panic escape,
+//!                                          #   invalid output, broken
+//!                                          #   monotone degradation)
 //! ```
 
-use mmb_bench::{corpus, experiments, perf};
+use mmb_bench::{chaos, corpus, experiments, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +140,29 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        Some(&"chaos") => {
+            let out = chaos::run_chaos(quick);
+            out.table.print();
+            if !out.gate_ok {
+                for violation in &out.violations {
+                    eprintln!("chaos gate FAILED: {violation}");
+                }
+                if out.faults_injected == 0 {
+                    eprintln!(
+                        "chaos gate FAILED: no fault was injected across the sweep — \
+                         the suite is vacuous"
+                    );
+                }
+                std::process::exit(1);
+            }
+            println!(
+                "chaos gate ok: {} cells, {} faults injected, {} degraded serves, \
+                 zero contract violations",
+                out.table.rows.len(),
+                out.faults_injected,
+                out.degraded_cells
+            );
         }
         Some(&"lint") => {
             let json = args.iter().any(|a| a == "--json");

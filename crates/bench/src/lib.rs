@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod corpus;
 pub mod experiments;
 pub mod perf;

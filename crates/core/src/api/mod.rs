@@ -43,4 +43,6 @@ pub use error::{validate_costs, validate_weights, InstanceError, SolveError};
 pub use instance::Instance;
 pub use partitioner::{Partitioner, Theorem4Pipeline};
 pub use report::{ClassRow, Report, StageReport};
-pub use solver::{auto_splitter, solve_many, Solver, SolverBuilder, SplitterChoice};
+pub use solver::{
+    auto_splitter, solve_many, solve_many_raw, Solver, SolverBuilder, SplitterChoice,
+};

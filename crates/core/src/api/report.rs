@@ -83,6 +83,12 @@ pub struct Report {
     /// off the hot path); filled by
     /// [`Solver::solve_certified`](crate::api::Solver::solve_certified).
     pub certified: Option<CertifiedGap>,
+    /// How the degradation ladder served this report: which rung
+    /// answered, what happened to the rungs above it, budget spent.
+    /// `None` from the plain [`Solver`](crate::api::Solver) entry points;
+    /// filled by
+    /// [`ResilientSolver::solve`](crate::resilient::ResilientSolver::solve).
+    pub resilience: Option<crate::resilient::Resilience>,
 }
 
 impl Report {
@@ -125,6 +131,7 @@ impl Report {
             coloring: stage3,
             stage_millis: [0.0; 3],
             certified: None,
+            resilience: None,
         }
     }
 

@@ -272,6 +272,7 @@ impl<'i> Solver<'i> {
         // lint: allow(nondeterminism) — the four stage timestamps feed only
         // the report's observational `timings` field, never the coloring.
         let t0 = std::time::Instant::now();
+        crate::failpoint::raise_any("pipeline::multibalance");
         let stage1 = multibalance_minmax_with_pi_ws(
             g,
             costs,
@@ -284,6 +285,7 @@ impl<'i> Solver<'i> {
         );
         // lint: allow(nondeterminism) — observational timing only, as above.
         let t1 = std::time::Instant::now();
+        crate::failpoint::raise_any("pipeline::shrink");
         let stage2 = if self.cfg.skip_shrink {
             stage1.coloring.clone()
         } else {
@@ -301,6 +303,7 @@ impl<'i> Solver<'i> {
         };
         // lint: allow(nondeterminism) — observational timing only, as above.
         let t2 = std::time::Instant::now();
+        crate::failpoint::raise_any("pipeline::binpack");
         let stage3 = binpack2(g, &self.splitter, &stage2, domain, weights);
         // lint: allow(nondeterminism) — observational timing only, as above.
         let t3 = std::time::Instant::now();
@@ -423,6 +426,36 @@ impl std::fmt::Debug for Solver<'_> {
     }
 }
 
+/// Solve one instance with per-item isolation: build, solve, and convert
+/// any panic into a typed [`SolveError::Panicked`] — the shared guts of
+/// the batch entry points. One bad request must not poison its batch.
+fn solve_one_isolated(
+    inst: &Instance,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> Result<Report, SolveError> {
+    crate::failpoint::raise("batch::item")?;
+    // lint: allow(catch-unwind) — the batch isolation boundary: a panic in
+    // one instance's solve becomes that item's typed error instead of
+    // unwinding through the rayon worker and poisoning the whole batch.
+    // Per-item state is rebuilt from scratch each call and the pooled
+    // workspace rolls its epochs back via Drop, so the closure's captures
+    // are sound to reuse after an unwind.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Solver::for_instance(inst)
+            .classes(k)
+            .config(cfg.clone())
+            .build()
+            .map(|solver| solver.solve())
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SolveError::Panicked {
+            context: "solve_many",
+            message: crate::failpoint::panic_message(payload.as_ref()),
+        })
+    })
+}
+
 /// Solve a batch of instances with a shared configuration — the
 /// "serve many requests" entry point.
 ///
@@ -432,6 +465,12 @@ impl std::fmt::Debug for Solver<'_> {
 /// **thread-local [`Workspace`]** across every instance it processes, so a
 /// stream of requests pays for splitter construction once per instance and
 /// for scratch allocation (almost) never.
+///
+/// **Partial-failure semantics:** each instance gets its own `Result`
+/// slot, and a panic inside one item's solve is caught at the item
+/// boundary and returned as that slot's [`SolveError::Panicked`] — one
+/// poisoned request never takes down the rest of the batch (chaos-tested
+/// in `tests/chaos.rs`).
 ///
 /// Deterministic: results come back in input order, and each coloring is
 /// bit-identical to what a one-at-a-time
@@ -444,12 +483,29 @@ pub fn solve_many(
 ) -> Vec<Result<Report, SolveError>> {
     instances
         .par_iter()
-        .map(|inst| {
-            Solver::for_instance(inst)
-                .classes(k)
-                .config(cfg.clone())
-                .build()
-                .map(|solver| solver.solve())
+        .map(|inst| solve_one_isolated(inst, k, cfg))
+        .collect()
+}
+
+/// [`solve_many`] for **unvalidated** inputs: each `(graph, costs,
+/// weights)` triple is validated into an [`Instance`] at its own batch
+/// slot, so one malformed request (wrong vector length, NaN weight)
+/// yields one typed `Err` — never a poisoned batch. The admission path a
+/// serving edge puts in front of the solver pool.
+pub fn solve_many_raw(
+    inputs: Vec<(mmb_graph::Graph, Vec<f64>, Vec<f64>)>,
+    k: usize,
+    cfg: &PipelineConfig,
+) -> Vec<Result<Report, SolveError>> {
+    let admitted: Vec<Result<Instance, SolveError>> = inputs
+        .into_iter()
+        .map(|(g, costs, weights)| Instance::new(g, costs, weights).map_err(SolveError::from))
+        .collect();
+    admitted
+        .par_iter()
+        .map(|slot| match slot {
+            Ok(inst) => solve_one_isolated(inst, k, cfg),
+            Err(e) => Err(e.clone()),
         })
         .collect()
 }

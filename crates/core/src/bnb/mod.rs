@@ -56,13 +56,22 @@ use bounds::IncrementalBounds;
 /// interactive on dense `n ≈ 30` hosts.
 pub const DEFAULT_NODE_BUDGET: u64 = 500_000;
 
+/// Default wall-clock polling stride of [`BnbConfig::default`]: the
+/// deadline is consulted on the first node and every 1024th after, a
+/// balance between hot-loop cleanliness and overshoot (≤ 1023 nodes past
+/// the wall).
+pub const DEFAULT_DEADLINE_POLL_STRIDE: u64 = 1024;
+
 /// Budget configuration of one branch-and-bound run.
 ///
 /// `None` everywhere means *exhaustive*: the search runs until the space
 /// is exhausted and the result is the proven optimum. A node budget is
 /// the deterministic (seed-stable) way to truncate; the wall-clock
-/// deadline exists for interactive callers and is checked only every
-/// 1024 nodes to keep the hot loop clean.
+/// deadline exists for interactive callers and is checked on the first
+/// node and then every `deadline_poll_stride` nodes, so overshoot past
+/// the wall is bounded by `stride − 1` node expansions (plus the one in
+/// flight) — shrink the stride when nodes are expensive and the deadline
+/// tight.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BnbConfig {
     /// Maximum number of search nodes to visit (`None` = unlimited).
@@ -70,6 +79,10 @@ pub struct BnbConfig {
     /// Wall-clock budget (`None` = unlimited). Prefer node budgets in
     /// tests: deadlines are inherently machine-dependent.
     pub time_budget: Option<Duration>,
+    /// How often (in visited nodes) the wall-clock deadline is polled;
+    /// node 0 is always polled. Values below 1 behave as 1 (poll every
+    /// node). Irrelevant without a `time_budget`.
+    pub deadline_poll_stride: u64,
 }
 
 impl Default for BnbConfig {
@@ -77,6 +90,7 @@ impl Default for BnbConfig {
         BnbConfig {
             node_budget: Some(DEFAULT_NODE_BUDGET),
             time_budget: None,
+            deadline_poll_stride: DEFAULT_DEADLINE_POLL_STRIDE,
         }
     }
 }
@@ -86,7 +100,7 @@ impl BnbConfig {
     pub fn exhaustive() -> Self {
         BnbConfig {
             node_budget: None,
-            time_budget: None,
+            ..Self::default()
         }
     }
 
@@ -95,6 +109,17 @@ impl BnbConfig {
         BnbConfig {
             node_budget: Some(nodes),
             time_budget: None,
+            deadline_poll_stride: DEFAULT_DEADLINE_POLL_STRIDE,
+        }
+    }
+
+    /// Exhaustive except for a wall-clock budget of `deadline`, polled
+    /// every `stride` nodes.
+    pub fn with_time_budget(deadline: Duration, stride: u64) -> Self {
+        BnbConfig {
+            node_budget: None,
+            time_budget: Some(deadline),
+            deadline_poll_stride: stride,
         }
     }
 }
@@ -211,6 +236,7 @@ pub(crate) fn solve_seeded(
     if k == 0 {
         return Err(SolveError::ZeroColors);
     }
+    crate::failpoint::raise("bnb::solve")?;
     let n = inst.num_vertices();
     let weights = inst.weights();
     let avg = inst.total_weight() / k as f64;
@@ -263,11 +289,16 @@ pub(crate) fn solve_seeded(
         // caller-opted time budget; expiry sets `truncated` (reported as
         // such) and never changes an exactness claim.
         let deadline = cfg.time_budget.and_then(|d| Instant::now().checked_add(d));
+        let stride = cfg.deadline_poll_stride.max(1);
         let mut stop = |visited: u64| {
+            crate::failpoint::raise_any("bnb::node");
             visited >= budget
                 || interrupt(visited)
                 // lint: allow(nondeterminism) — deadline check, see above.
-                || deadline.is_some_and(|t| visited.is_multiple_of(1024) && Instant::now() >= t)
+                // Node 0 always satisfies the stride test, so the very
+                // first node is polled and a pre-expired deadline stops
+                // the search before any expansion.
+                || deadline.is_some_and(|t| visited.is_multiple_of(stride) && Instant::now() >= t)
         };
         let mut engine = Engine {
             inst,

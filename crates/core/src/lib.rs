@@ -88,20 +88,22 @@ pub mod api;
 pub mod bnb;
 pub mod bounds;
 pub mod conquer;
+pub mod failpoint;
 pub mod lower_bounds;
 pub mod multibalance;
 pub mod oracle;
 pub mod pi;
 pub mod pipeline;
 pub mod rebalance;
+pub mod resilient;
 pub mod shrink;
 pub mod strict;
 pub mod two_color;
 pub mod verify;
 
 pub use api::{
-    auto_splitter, solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
-    SolverBuilder, SplitterChoice, Theorem4Pipeline,
+    auto_splitter, solve_many, solve_many_raw, Instance, InstanceError, Partitioner, Report,
+    SolveError, Solver, SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
 pub use bnb::{BnbBound, BnbConfig, BnbPartitioner, BnbSolution};
 pub use lower_bounds::{
@@ -110,12 +112,15 @@ pub use lower_bounds::{
 };
 pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
 pub use pipeline::{decompose, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy};
+pub use resilient::{
+    DeadlineBudget, Resilience, ResilientConfig, ResilientSolver, RetryPolicy, RungOutcome,
+};
 
 /// Commonly used items for downstream crates.
 pub mod prelude {
     pub use crate::api::{
-        solve_many, Instance, InstanceError, Partitioner, Report, SolveError, Solver,
-        SplitterChoice,
+        solve_many, solve_many_raw, Instance, InstanceError, Partitioner, Report, SolveError,
+        Solver, SplitterChoice,
     };
     pub use crate::bnb::{BnbConfig, BnbPartitioner};
     pub use crate::bounds;
@@ -125,5 +130,6 @@ pub mod prelude {
     pub use crate::pipeline::{
         decompose, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy,
     };
+    pub use crate::resilient::{DeadlineBudget, Resilience, ResilientSolver, RetryPolicy};
     pub use crate::verify::{verify_decomposition, DecompositionReport};
 }

@@ -1,0 +1,128 @@
+//! Batch-entry-point semantics: `solve_many` / `solve_many_raw` return
+//! one `Result` per instance, in input order, with per-item isolation —
+//! one malformed or panicking request never poisons its batch.
+
+use mmb_core::api::{solve_many, solve_many_raw, Instance, SolveError, Solver};
+use mmb_core::failpoint::{with_faults, FaultAction, FaultSchedule};
+use mmb_core::pipeline::PipelineConfig;
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::misc::{cycle, path};
+use mmb_graph::Graph;
+
+fn instances() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for g in [path(10), cycle(12), path(7)] {
+        let m = g.num_edges();
+        let n = g.num_vertices();
+        out.push(Instance::new(g, vec![1.0; m], vec![1.0; n]).unwrap());
+    }
+    let grid = GridGraph::lattice(&[4, 4]);
+    let (m, n) = (grid.graph.num_edges(), grid.graph.num_vertices());
+    out.push(Instance::from_grid(grid, vec![1.0; m], vec![1.0; n]).unwrap());
+    out
+}
+
+#[test]
+fn solve_many_matches_single_solves_in_input_order() {
+    let instances = instances();
+    let cfg = PipelineConfig::default();
+    let batch = solve_many(&instances, 2, &cfg);
+    assert_eq!(batch.len(), instances.len());
+    for (inst, slot) in instances.iter().zip(&batch) {
+        let single = Solver::for_instance(inst)
+            .classes(2)
+            .config(cfg.clone())
+            .build()
+            .unwrap()
+            .solve();
+        let got = slot.as_ref().expect("healthy instance solves");
+        assert_eq!(got.coloring, single.coloring, "batch must be bit-identical");
+        assert!(got.is_strictly_balanced());
+    }
+}
+
+/// Raw triples mixing valid and malformed requests: every slot gets its
+/// own typed `Result`, valid neighbors are unaffected.
+#[test]
+fn solve_many_raw_isolates_malformed_instances() {
+    let valid = |g: Graph| {
+        let (m, n) = (g.num_edges(), g.num_vertices());
+        (g, vec![1.0; m], vec![1.0; n])
+    };
+    let wrong_len = {
+        let g = path(6);
+        let n = g.num_vertices();
+        (g, vec![1.0; 2], vec![1.0; n]) // costs length ≠ edge count
+    };
+    let nan_weight = {
+        let g = path(5);
+        let m = g.num_edges();
+        let mut w = vec![1.0; 5];
+        w[3] = f64::NAN;
+        (g, vec![1.0; m], w)
+    };
+    let inputs = vec![valid(path(8)), wrong_len, valid(cycle(9)), nan_weight];
+    let results = solve_many_raw(inputs, 2, &PipelineConfig::default());
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ref_ok_and_strict());
+    assert!(results[2].is_ref_ok_and_strict());
+    for bad in [&results[1], &results[3]] {
+        let err = bad.as_ref().expect_err("malformed input must be typed");
+        assert!(
+            !matches!(err, SolveError::Panicked { .. }),
+            "admission failures are validation errors, not caught panics: {err}"
+        );
+    }
+}
+
+/// Convenience assertion on a batch slot.
+trait SlotExt {
+    fn is_ref_ok_and_strict(&self) -> bool;
+}
+impl SlotExt for Result<mmb_core::api::Report, SolveError> {
+    fn is_ref_ok_and_strict(&self) -> bool {
+        self.as_ref().is_ok_and(|r| r.is_strictly_balanced())
+    }
+}
+
+#[test]
+fn a_panicking_item_is_caught_at_its_slot() {
+    let instances = instances();
+    // Run the batch inline on this thread so the armed schedule reaches
+    // every item (the shim executes inline at one thread).
+    let schedule = FaultSchedule::new().once("pipeline::multibalance", 0, FaultAction::Panic);
+    let (results, log) = with_faults(&schedule, || {
+        rayon::with_num_threads(1, || solve_many(&instances, 2, &PipelineConfig::default()))
+    });
+    assert_eq!(log.len(), 1, "exactly one fault fired");
+    match &results[0] {
+        Err(SolveError::Panicked { context, message }) => {
+            assert_eq!(*context, "solve_many");
+            assert!(message.contains("pipeline::multibalance"), "{message}");
+        }
+        other => panic!("item 0 should be a caught panic, got {other:?}"),
+    }
+    for slot in &results[1..] {
+        assert!(slot.is_ref_ok_and_strict(), "siblings unaffected");
+    }
+}
+
+#[test]
+fn a_transient_item_fault_is_typed_at_its_slot() {
+    let instances = instances();
+    let schedule = FaultSchedule::new().once("batch::item", 1, FaultAction::Transient);
+    let (results, _) = with_faults(&schedule, || {
+        rayon::with_num_threads(1, || solve_many(&instances, 2, &PipelineConfig::default()))
+    });
+    assert!(matches!(
+        results[1],
+        Err(SolveError::Transient {
+            site: "batch::item"
+        })
+    ));
+    for (i, slot) in results.iter().enumerate() {
+        if i != 1 {
+            assert!(slot.is_ref_ok_and_strict(), "slot {i}");
+        }
+    }
+}

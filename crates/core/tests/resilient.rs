@@ -1,0 +1,319 @@
+//! Degradation-ladder behavior of [`ResilientSolver`]: rung fall-through
+//! under rigged panics, bounded transient retries, deadline skipping, and
+//! the [`Resilience`] record naming every failure truthfully.
+//!
+//! Faults are injected only through the deterministic
+//! [`mmb_core::failpoint`] framework or through deliberately rigged
+//! custom rungs — no randomness, every failure replays.
+
+use std::time::Duration;
+
+use mmb_core::api::{Instance, Partitioner, SolveError};
+use mmb_core::bnb::BnbConfig;
+use mmb_core::failpoint::{with_faults, FaultAction, FaultSchedule};
+use mmb_core::resilient::{DeadlineBudget, ResilientSolver, RetryPolicy, RungOutcome, SkipReason};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::misc::path;
+use mmb_graph::Coloring;
+
+fn lattice_instance(dims: &[usize]) -> Instance {
+    let grid = GridGraph::lattice(dims);
+    let m = grid.graph.num_edges();
+    let n = grid.graph.num_vertices();
+    Instance::from_grid(grid, vec![1.0; m], vec![1.0; n]).unwrap()
+}
+
+fn path_instance(n: usize) -> Instance {
+    let g = path(n);
+    let m = g.num_edges();
+    Instance::new(g, vec![1.0; m], vec![1.0; n]).unwrap()
+}
+
+/// A small bnb budget so certified rungs stay fast under test.
+fn quick_bnb() -> BnbConfig {
+    BnbConfig::with_node_budget(2_000)
+}
+
+#[test]
+fn healthy_solve_serves_the_certified_rung() {
+    let inst = lattice_instance(&[6, 6]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .bnb(quick_bnb())
+        .build()
+        .unwrap();
+    let report = solver.solve();
+    assert!(report.is_strictly_balanced());
+    let res = report.resilience.as_ref().expect("record always attached");
+    assert_eq!(res.served_by, "certified");
+    assert_eq!(res.served_index, 0);
+    assert!(!res.degraded, "first enabled rung served: not degraded");
+    assert_eq!(res.faults_observed, 0);
+    assert_eq!(res.attempts.len(), 1);
+    assert_eq!(res.attempts[0].outcome, RungOutcome::Served);
+    // The certified rung brings its own gap.
+    assert!(report.certified.is_some());
+}
+
+#[test]
+fn disabling_the_certified_rung_serves_the_pipeline() {
+    let inst = lattice_instance(&[6, 6]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .certified(false)
+        .build()
+        .unwrap();
+    let report = solver.solve();
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!(res.served_by, "pipeline");
+    assert!(!res.degraded, "a disabled skip is not degradation");
+    assert_eq!(
+        res.attempt_for("certified").unwrap().outcome,
+        RungOutcome::Skipped(SkipReason::Disabled)
+    );
+    // Lower rungs still get a certified gap from the static stack.
+    assert!(report.certified.is_some());
+}
+
+#[test]
+fn splitter_panics_degrade_to_first_fit_and_are_named() {
+    let inst = lattice_instance(&[6, 6]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .bnb(quick_bnb())
+        .retry(RetryPolicy::none())
+        .build()
+        .unwrap();
+    let schedule = FaultSchedule::new().always("splitter::split", FaultAction::Panic);
+    let (report, log) = with_faults(&schedule, || solver.solve());
+    assert!(report.is_strictly_balanced());
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!(res.served_by, "first-fit");
+    assert!(res.degraded);
+    assert!(!log.is_empty());
+    assert_eq!(res.faults_observed, log.len() as u64);
+    // Both solver rungs are recorded as panicked, naming the failpoint.
+    for rung in ["certified", "pipeline"] {
+        match &res.attempt_for(rung).unwrap().outcome {
+            RungOutcome::Panicked(msg) => {
+                assert!(msg.contains("splitter::split"), "{rung}: {msg}")
+            }
+            other => panic!("{rung}: expected Panicked, got {other:?}"),
+        }
+    }
+    // Monotone degradation: served cost never exceeds the floor's.
+    assert!(report.max_boundary <= res.floor_cost * (1.0 + 1e-9));
+}
+
+#[test]
+fn workspace_survives_unwinds_and_later_solves_are_bit_identical() {
+    let inst = lattice_instance(&[6, 6]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .bnb(quick_bnb())
+        .retry(RetryPolicy::none())
+        .build()
+        .unwrap();
+    // A never-faulted reference solve.
+    let reference = solver.solve();
+    assert_eq!(
+        reference.resilience.as_ref().unwrap().served_by,
+        "certified"
+    );
+    // Panic through every solver rung (pooled workspace buffers are in
+    // use when the unwind happens)…
+    let schedule = FaultSchedule::new().always("splitter::split", FaultAction::Panic);
+    let (faulted, _) = with_faults(&schedule, || solver.solve());
+    assert_eq!(faulted.resilience.as_ref().unwrap().served_by, "first-fit");
+    // …then solve cleanly on the same thread: the pool must be unpoisoned
+    // (no panic, no stale scratch state) and the result bit-identical to
+    // the never-faulted run.
+    let after = solver.solve();
+    assert_eq!(after.resilience.as_ref().unwrap().served_by, "certified");
+    assert_eq!(after.coloring, reference.coloring);
+    assert_eq!(after.max_boundary, reference.max_boundary);
+}
+
+/// A custom rung rigged to panic — the "buggy plugin" scenario.
+struct PanickyRung;
+impl Partitioner for PanickyRung {
+    fn name(&self) -> &str {
+        "panicky"
+    }
+    fn partition(&self, _inst: &Instance, _k: usize) -> Result<Coloring, SolveError> {
+        panic!("rigged rung blew up");
+    }
+}
+
+/// A custom rung that serves contiguous blocks — valid on unit-weight
+/// paths where `k` divides `n`.
+struct BlockRung;
+impl Partitioner for BlockRung {
+    fn name(&self) -> &str {
+        "blocks"
+    }
+    fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
+        let n = inst.num_vertices();
+        let per = n.div_ceil(k);
+        Ok(Coloring::from_fn(n, k, |v| (v as usize / per) as u32))
+    }
+}
+
+#[test]
+fn panicking_custom_rung_falls_through_and_the_record_names_it() {
+    let inst = path_instance(12);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(2)
+        .certified(false)
+        .retry(RetryPolicy::none())
+        .rung("panicky", Box::new(PanickyRung))
+        .rung("blocks", Box::new(BlockRung))
+        .build()
+        .unwrap();
+    // Panic the pipeline rung so the ladder reaches the custom rungs.
+    let schedule = FaultSchedule::new().always("pipeline::multibalance", FaultAction::Panic);
+    let (report, _) = with_faults(&schedule, || solver.solve());
+    assert!(report.is_strictly_balanced());
+    let res = report.resilience.as_ref().unwrap();
+    match &res.attempt_for("panicky").unwrap().outcome {
+        RungOutcome::Panicked(msg) => assert!(msg.contains("rigged rung blew up"), "{msg}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // The next custom rung serves (contiguous halves of a unit path are
+    // strictly balanced and at least as cheap as the floor).
+    assert_eq!(res.served_by, "blocks");
+    assert_eq!(res.served_index, 3);
+    assert!(res.degraded);
+    assert_eq!(report.splitter, "blocks");
+}
+
+/// A custom rung that returns a grossly unbalanced coloring — must be
+/// *rejected*, never served.
+struct LopsidedRung;
+impl Partitioner for LopsidedRung {
+    fn name(&self) -> &str {
+        "lopsided"
+    }
+    fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
+        Ok(Coloring::from_fn(inst.num_vertices(), k, |_| 0))
+    }
+}
+
+#[test]
+fn invalid_rung_output_is_rejected_not_served() {
+    let inst = path_instance(12);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(2)
+        .certified(false)
+        .retry(RetryPolicy::none())
+        .rung("lopsided", Box::new(LopsidedRung))
+        .build()
+        .unwrap();
+    let schedule = FaultSchedule::new().always("pipeline::multibalance", FaultAction::Panic);
+    let (report, _) = with_faults(&schedule, || solver.solve());
+    let res = report.resilience.as_ref().unwrap();
+    assert!(matches!(
+        res.attempt_for("lopsided").unwrap().outcome,
+        RungOutcome::Rejected(_)
+    ));
+    assert_eq!(res.served_by, "first-fit");
+    assert!(report.is_strictly_balanced());
+}
+
+#[test]
+fn transient_faults_are_retried_and_recover() {
+    let inst = lattice_instance(&[5, 5]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(3)
+        .bnb(quick_bnb())
+        .retry(RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_micros(100),
+        })
+        .build()
+        .unwrap();
+    // Fire exactly once, on the first pipeline entry; the retry passes.
+    let schedule = FaultSchedule::new().once("pipeline::multibalance", 0, FaultAction::Transient);
+    let (report, log) = with_faults(&schedule, || solver.solve());
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!(res.served_by, "certified");
+    assert_eq!(res.attempts[0].tries, 2, "one transient, one clean try");
+    assert!(!res.degraded, "a recovered rung is not degradation");
+    assert_eq!(log.len(), 1);
+}
+
+#[test]
+fn exhausted_retries_fall_through_with_the_try_count_recorded() {
+    let inst = lattice_instance(&[5, 5]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(3)
+        .bnb(quick_bnb())
+        .retry(RetryPolicy {
+            max_retries: 1,
+            backoff: Duration::from_micros(100),
+        })
+        .build()
+        .unwrap();
+    let schedule = FaultSchedule::new().always("pipeline::multibalance", FaultAction::Transient);
+    let (report, _) = with_faults(&schedule, || solver.solve());
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!(res.served_by, "first-fit");
+    for rung in ["certified", "pipeline"] {
+        let attempt = res.attempt_for(rung).unwrap();
+        assert_eq!(attempt.tries, 2, "{rung}: initial try + 1 retry");
+        assert!(
+            matches!(attempt.outcome, RungOutcome::Panicked(_)),
+            "{rung}: transient through infallible code surfaces as a caught unwind"
+        );
+    }
+}
+
+#[test]
+fn zero_budget_serves_the_trivial_floor_within_the_overshoot_allowance() {
+    let inst = lattice_instance(&[6, 6]);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .budget(DeadlineBudget::with_total(Duration::ZERO))
+        .build()
+        .unwrap();
+    let report = solver.solve();
+    assert!(report.is_strictly_balanced());
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!(res.served_by, "trivial");
+    assert_eq!(report.max_boundary, res.floor_cost);
+    // Every rung above the floor was skipped for the deadline, not run.
+    for rung in ["certified", "pipeline", "first-fit"] {
+        assert_eq!(
+            res.attempt_for(rung).unwrap().outcome,
+            RungOutcome::Skipped(SkipReason::DeadlineExhausted),
+            "{rung}"
+        );
+    }
+    // The floor is pure arithmetic: an exhausted deadline still returns
+    // promptly (generous CI allowance).
+    assert!(
+        !res.overshot_by_more_than(250.0),
+        "{:?}",
+        res.elapsed_millis
+    );
+    assert!(report.certified.is_some(), "even the floor carries a gap");
+}
+
+#[test]
+fn solve_is_total_under_a_panicking_ladder_and_a_zero_deadline_combined() {
+    let inst = path_instance(16);
+    let solver = ResilientSolver::for_instance(&inst)
+        .classes(4)
+        .budget(DeadlineBudget::with_total(Duration::ZERO))
+        .rung("panicky", Box::new(PanickyRung))
+        .build()
+        .unwrap();
+    let schedule = FaultSchedule::new()
+        .always("splitter::split", FaultAction::Panic)
+        .always("pipeline::multibalance", FaultAction::Panic)
+        .always("bnb::solve", FaultAction::Panic);
+    let (report, _) = with_faults(&schedule, || solver.solve());
+    assert!(report.coloring.is_total());
+    assert!(report.is_strictly_balanced());
+    assert_eq!(report.resilience.as_ref().unwrap().served_by, "trivial");
+}

@@ -66,6 +66,21 @@ pub enum MetisError {
         /// 1-based line number of the first trailing data line.
         line: usize,
     },
+    /// The header declares more vertices or edges than the document
+    /// could possibly contain. Refused **before** any allocation is
+    /// sized by the untrusted header fields, so a 20-byte document
+    /// claiming `usize::MAX` vertices cannot request terabytes
+    /// (resource-exhaustion hardening). The budgets are structural — a
+    /// vertex needs its own line, an edge two neighbor listings — not
+    /// tunable limits, so no legitimate document is ever refused.
+    ImplausibleHeader {
+        /// Which count is implausible (`"vertices"` or `"edges"`).
+        what: &'static str,
+        /// The count the header declares.
+        declared: usize,
+        /// The most the document could actually hold.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for MetisError {
@@ -90,6 +105,15 @@ impl std::fmt::Display for MetisError {
                     "line {line}: unexpected content after the last vertex line"
                 )
             }
+            MetisError::ImplausibleHeader {
+                what,
+                declared,
+                budget,
+            } => write!(
+                f,
+                "header declares {declared} {what}, but the document can hold at \
+                 most {budget}; refusing before allocating for an implausible header"
+            ),
         }
     }
 }
@@ -134,6 +158,29 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
     };
     let n = parse_usize(head[0], hline)?;
     let m = parse_usize(head[1], hline)?;
+    // Plausibility caps, checked before anything is allocated with a
+    // header-derived size: `n` vertices need `n` adjacency lines after
+    // the header, and `m` edges need two neighbor tokens each (one per
+    // endpoint), every token at least one byte. Both budgets come from
+    // the document itself — an adversarial header can therefore never
+    // make the allocations below exceed O(document size).
+    let total_lines = input.lines().count();
+    let line_budget = total_lines.saturating_sub(1);
+    if n > line_budget {
+        return Err(MetisError::ImplausibleHeader {
+            what: "vertices",
+            declared: n,
+            budget: line_budget,
+        });
+    }
+    let edge_budget = input.len() / 2;
+    if m > edge_budget {
+        return Err(MetisError::ImplausibleHeader {
+            what: "edges",
+            declared: m,
+            budget: edge_budget,
+        });
+    }
     let fmt = head.get(2).copied().unwrap_or("000");
     if fmt.is_empty() || fmt.len() > 3 || fmt.bytes().any(|b| b != b'0' && b != b'1') {
         return Err(MetisError::BadHeader(format!(
@@ -160,7 +207,6 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
         std::collections::HashMap::new();
     let mut half_edges = 0usize;
 
-    let total_lines = input.lines().count();
     for v in 0..n as u32 {
         let Some((lno, line)) = lines.next() else {
             return Err(MetisError::BadLine {
@@ -373,9 +419,21 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(matches!(parse_metis(""), Err(MetisError::BadHeader(_))));
+        // Missing second vertex line: the structural cap catches the raw
+        // two-line document (2 declared vertices can't fit in 1 data
+        // line); with a comment padding the line count past the cap, the
+        // body loop reports the missing line itself.
         assert!(matches!(
             parse_metis("2 1\n2\n"),
-            Err(MetisError::BadLine { .. }) // missing second line
+            Err(MetisError::ImplausibleHeader {
+                what: "vertices",
+                declared: 2,
+                budget: 1
+            })
+        ));
+        assert!(matches!(
+            parse_metis("2 1\n2\n% pad\n"),
+            Err(MetisError::BadLine { .. })
         ));
         // Edge count mismatch: header says 2, body has 1.
         assert!(matches!(
@@ -421,6 +479,42 @@ mod tests {
     // `AsymmetricAdjacency` / `TrailingContent` paths live in the
     // canonical integration suite (`tests/metis_io.rs`), next to the
     // rest of the `MetisError` coverage.
+
+    #[test]
+    fn adversarial_headers_are_refused_before_allocation() {
+        // A tiny document claiming usize::MAX vertices must come back as
+        // a typed error without ever attempting the n-sized allocations.
+        let huge_n = format!("{} 1\n2\n1\n", usize::MAX);
+        assert!(matches!(
+            parse_metis(&huge_n),
+            Err(MetisError::ImplausibleHeader {
+                what: "vertices",
+                declared: usize::MAX,
+                ..
+            })
+        ));
+        // Same for an edge count the document cannot possibly hold.
+        let huge_m = format!("2 {}\n2\n1\n", usize::MAX / 2);
+        assert!(matches!(
+            parse_metis(&huge_m),
+            Err(MetisError::ImplausibleHeader { what: "edges", .. })
+        ));
+        // Moderately inflated counts are refused too — the budgets are
+        // document-derived, not fixed thresholds.
+        assert!(matches!(
+            parse_metis("1000 1\n2\n1\n"),
+            Err(MetisError::ImplausibleHeader {
+                what: "vertices",
+                declared: 1000,
+                budget: 2
+            })
+        ));
+        // Boundary: a header that exactly matches its document parses.
+        assert!(parse_metis("2 1\n2\n1\n").is_ok());
+        // The error carries a stable, human-readable rendering.
+        let msg = parse_metis("9 0\n1\n").unwrap_err().to_string();
+        assert!(msg.contains("9 vertices"), "{msg}");
+    }
 
     #[test]
     fn non_binary_fmt_is_a_typed_error() {

@@ -155,10 +155,18 @@ fn bad_line_variants() {
         Err(MetisError::BadLine { line, .. }) => assert_eq!(line, 1),
         other => panic!("{other:?}"),
     }
-    // Missing adjacency line for a declared vertex.
+    // Missing adjacency line for a declared vertex. (A comment line pads
+    // the document past the header-plausibility cap so the missing-line
+    // path is reached rather than `ImplausibleHeader`.)
+    assert!(matches!(
+        parse_metis("2 1\n2\n% pad\n"),
+        Err(MetisError::BadLine { .. })
+    ));
+    // Without padding the same document is refused earlier, before any
+    // header-sized allocation.
     assert!(matches!(
         parse_metis("2 1\n2\n"),
-        Err(MetisError::BadLine { .. })
+        Err(MetisError::ImplausibleHeader { .. })
     ));
     // Neighbor id out of range (ids are 1-based).
     assert!(matches!(
