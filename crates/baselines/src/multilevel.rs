@@ -11,18 +11,22 @@
 //! 3. **Uncoarsening** — project the coloring through the contraction maps,
 //!    running Kernighan–Lin refinement at every level.
 //!
+//! The coarsening machinery (matching, contraction, projection) is the
+//! shared [`mmb_core::coarsen`] module — this baseline was its original
+//! home, and `tests/multilevel_golden.rs` pins the partitioner to its
+//! historical colorings bit-for-bit across the move. The same machinery
+//! now also drives the pipeline's large-`n` cascade
+//! ([`mmb_core::pipeline::CoarsenConfig`]).
+//!
 //! Compared to the Theorem 4 pipeline it optimizes *total* edge cut with a
 //! loose balance envelope; it has no strict-balance and no per-class
 //! boundary guarantee (experiment E7 quantifies both gaps).
 
-use std::collections::HashMap;
+pub use mmb_core::coarsen::{contract, heavy_edge_matching, CoarsenParams, CoarseningFront};
 
 use mmb_core::api::{validate_costs, validate_weights, Instance, Partitioner, SolveError};
-use mmb_graph::{Coloring, Graph, GraphBuilder, VertexId};
+use mmb_graph::{Coloring, Graph};
 use mmb_splitters::bfs::BfsSplitter;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::kl::{refine, KlParams};
 use crate::recursive_bisection::recursive_bisection;
@@ -52,14 +56,6 @@ impl Default for MultilevelParams {
     }
 }
 
-struct Level {
-    graph: Graph,
-    costs: Vec<f64>,
-    weights: Vec<f64>,
-    /// Fine vertex → coarse vertex (map of the *next* coarser level).
-    map: Vec<VertexId>,
-}
-
 /// Partition `(g, costs, weights)` into `k` parts.
 pub fn multilevel(
     g: &Graph,
@@ -73,53 +69,27 @@ pub fn multilevel(
     }
     validate_weights(g.num_vertices(), weights)?;
     validate_costs(g.num_edges(), costs)?;
-    let mut rng = StdRng::seed_from_u64(params.seed);
 
-    // Coarsening phase.
-    let mut levels: Vec<Level> = Vec::new();
-    let mut cur_graph = g.clone();
-    let mut cur_costs = costs.to_vec();
-    let mut cur_weights = weights.to_vec();
-    while cur_graph.num_vertices() > params.coarsest_factor * k && levels.len() < params.max_levels
-    {
-        let (map, coarse_n) = heavy_edge_matching(&cur_graph, &cur_costs, &mut rng);
-        if coarse_n == cur_graph.num_vertices() {
-            break; // no contraction possible (edgeless)
-        }
-        let (next_graph, next_costs, next_weights) =
-            contract(&cur_graph, &cur_costs, &cur_weights, &map, coarse_n);
-        levels.push(Level {
-            graph: std::mem::replace(&mut cur_graph, next_graph),
-            costs: std::mem::replace(&mut cur_costs, next_costs),
-            weights: std::mem::replace(&mut cur_weights, next_weights),
-            map,
-        });
-    }
+    // Coarsening phase, via the shared cascade.
+    let coarsen = CoarsenParams {
+        target_vertices: params.coarsest_factor * k,
+        max_levels: params.max_levels,
+        seed: params.seed,
+    };
+    let front = CoarseningFront::build(g, costs, weights, &coarsen);
+    let (cg, cc, cw) = front.coarsest((g, costs, weights));
 
     // Initial partition on the coarsest graph. The inner calls only see
     // already-validated, internally consistent data, so errors cannot
     // occur here.
-    let bfs = BfsSplitter::new(&cur_graph);
-    let mut chi = recursive_bisection(&cur_graph, &bfs, &cur_weights, k)?;
-    chi = refine(&cur_graph, &cur_costs, &cur_weights, &chi, &params.kl)?;
+    let bfs = BfsSplitter::new(cg);
+    let mut chi = recursive_bisection(cg, &bfs, cw, k)?;
+    chi = refine(cg, cc, cw, &chi, &params.kl)?;
 
     // Uncoarsening with per-level refinement.
-    while let Some(level) = levels.pop() {
-        let mut fine = Coloring::new_uncolored(level.graph.num_vertices(), k);
-        for v in 0..level.graph.num_vertices() as u32 {
-            if let Some(c) = chi.get(level.map[v as usize]) {
-                fine.set(v, c);
-            }
-        }
-        chi = refine(
-            &level.graph,
-            &level.costs,
-            &level.weights,
-            &fine,
-            &params.kl,
-        )?;
-    }
-    Ok(chi)
+    front.project_to_host((g, costs, weights), chi, |fg, fc, fw, fine| {
+        refine(fg, fc, fw, fine, &params.kl)
+    })
 }
 
 /// [`multilevel`] as a [`Partitioner`].
@@ -137,84 +107,6 @@ impl Partitioner for Multilevel {
     fn partition(&self, inst: &Instance, k: usize) -> Result<Coloring, SolveError> {
         multilevel(inst.graph(), inst.costs(), inst.weights(), k, &self.params)
     }
-}
-
-/// Heavy-edge matching: returns (fine → coarse map, coarse vertex count).
-fn heavy_edge_matching(g: &Graph, costs: &[f64], rng: &mut StdRng) -> (Vec<VertexId>, usize) {
-    let n = g.num_vertices();
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
-    let mut mate = vec![u32::MAX; n];
-    for &v in &order {
-        if mate[v as usize] != u32::MAX {
-            continue;
-        }
-        let heaviest = g
-            .neighbors(v)
-            .iter()
-            .filter(|&&(nb, _)| mate[nb as usize] == u32::MAX && nb != v)
-            // total_cmp + neighbor-id tie-break: matching must not depend
-            // on adjacency-list order when edge costs tie.
-            .max_by(|a, b| {
-                costs[a.1 as usize]
-                    .total_cmp(&costs[b.1 as usize])
-                    .then(b.0.cmp(&a.0))
-            });
-        match heaviest {
-            Some(&(nb, _)) => {
-                mate[v as usize] = nb;
-                mate[nb as usize] = v;
-            }
-            None => mate[v as usize] = v, // singleton
-        }
-    }
-    // Assign coarse ids.
-    let mut map = vec![u32::MAX; n];
-    let mut next = 0u32;
-    for v in 0..n as u32 {
-        if map[v as usize] != u32::MAX {
-            continue;
-        }
-        map[v as usize] = next;
-        let m = mate[v as usize];
-        if m != u32::MAX && m != v {
-            map[m as usize] = next;
-        }
-        next += 1;
-    }
-    (map, next as usize)
-}
-
-/// Contract according to `map`, summing weights and parallel edge costs.
-fn contract(
-    g: &Graph,
-    costs: &[f64],
-    weights: &[f64],
-    map: &[VertexId],
-    coarse_n: usize,
-) -> (Graph, Vec<f64>, Vec<f64>) {
-    let mut coarse_weights = vec![0.0; coarse_n];
-    for v in 0..g.num_vertices() {
-        coarse_weights[map[v] as usize] += weights[v];
-    }
-    let mut agg: HashMap<(u32, u32), f64> = HashMap::new();
-    for (e, &(u, v)) in g.edge_list().iter().enumerate() {
-        let (cu, cv) = (map[u as usize], map[v as usize]);
-        if cu == cv {
-            continue;
-        }
-        let key = if cu < cv { (cu, cv) } else { (cv, cu) };
-        *agg.entry(key).or_insert(0.0) += costs[e];
-    }
-    let mut keyed: Vec<((u32, u32), f64)> = agg.into_iter().collect();
-    keyed.sort_unstable_by_key(|&(k, _)| k);
-    let mut builder = GraphBuilder::new(coarse_n);
-    for &((u, v), _) in &keyed {
-        builder.add_edge(u, v);
-    }
-    let graph = builder.build();
-    let coarse_costs = keyed.into_iter().map(|(_, c)| c).collect();
-    (graph, coarse_costs, coarse_weights)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! the identical solve under both scratch policies (pre-overhaul
 //! allocate-per-call reference vs the workspace hot path) plus the
 //! `solve_many` batch shape at several thread counts. The committed
-//! perf trajectory lives in `BENCH_5.json` (`reproduce bench`).
+//! perf trajectory lives in `BENCH_6.json` (`reproduce bench`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmb_core::api::{solve_many, Instance, Solver};
@@ -79,7 +79,7 @@ fn bench_scratch_policies(c: &mut Criterion) {
     // Old vs new side by side: the same Solver/solve under the
     // pre-overhaul allocating reference and the workspace path. Uniform
     // weights keep the Proposition 11 recursion deep (the shrink-dominated
-    // configuration `BENCH_5.json` tracks).
+    // configuration `BENCH_6.json` tracks).
     let mut group = c.benchmark_group("decompose/scratch");
     group.sample_size(10);
     let grid = GridGraph::lattice(&[48, 48]);

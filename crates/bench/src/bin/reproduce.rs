@@ -10,7 +10,7 @@
 //!                                          #   or beaten certified bounds,
 //!                                          #   no bnb-proven optimum past
 //!                                          #   the oracle cap)
-//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_5.json
+//! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_6.json
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
 //! reproduce gap-gate PATH                  # CI guard: fresh certified gaps
 //!                                          #   must not regress vs PATH
@@ -86,7 +86,7 @@ fn main() {
                 .position(|a| a == "--out")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .unwrap_or_else(|| "BENCH_5.json".to_string());
+                .unwrap_or_else(|| "BENCH_6.json".to_string());
             let report = perf::run(quick);
             let json = report.to_json();
             // Self-check before writing: an emitted file always validates.
@@ -114,7 +114,7 @@ fn main() {
                 }
             };
             match perf::validate_bench_json(&text) {
-                Ok(()) => println!("{path}: valid mmb-bench-5 document"),
+                Ok(()) => println!("{path}: valid mmb-bench-6 document"),
                 Err(e) => {
                     eprintln!("{path}: malformed: {e}");
                     std::process::exit(1);

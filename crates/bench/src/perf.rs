@@ -1,8 +1,8 @@
 //! Recorded perf baselines: the `bench` / `bench-verify` subcommands of
 //! the `reproduce` binary.
 //!
-//! `reproduce bench` runs two micro-suites and emits a machine-readable
-//! `BENCH_5.json` (schema `"mmb-bench-5"`, hand-rolled writer — no serde
+//! `reproduce bench` runs the micro-suites and emits a machine-readable
+//! `BENCH_6.json` (schema `"mmb-bench-6"`, hand-rolled writer — no serde
 //! in the offline environment):
 //!
 //! * **scaling** — the `decompose_scaling` configurations, each solved on
@@ -35,6 +35,17 @@
 //! any entry's certified ratio got *worse* than the committed one — the
 //! `reproduce gap-gate` CI guard.
 //!
+//! Since PR 9 the report carries a **large-`n` suite** (`"large"`, schema
+//! bump `mmb-bench-5` → `mmb-bench-6`, `BENCH_6.json`): grid instances at
+//! `n ≈ 10^5/10^6/10^7` (quick mode runs only the `10^5` row) go through
+//! the full scale path — METIS serialization, streaming re-ingestion
+//! ([`mmb_graph::io::parse_metis_reader`]), and a coarsening-cascade
+//! solve ([`mmb_core::pipeline::CoarsenConfig`]). Each row records
+//! ingest/solve wall-clock and the workspace's `peak_total_bytes` (pool
+//! scratch + ingestion/coarsening arenas — the peak-RSS proxy), and the
+//! validator enforces the per-size budgets of [`large_budget`] on every
+//! committed row, plus an `n ≥ 10^6` row in full mode.
+//!
 //! `reproduce bench-verify <path>` re-parses a committed file with the
 //! minimal JSON reader in this module and fails (non-zero exit) if it is
 //! missing, malformed, or lacks the required fields — the CI guard.
@@ -43,8 +54,9 @@ use std::time::Instant;
 
 use mmb_core::api::{solve_many, Instance, Partitioner, Solver, Theorem4Pipeline};
 use mmb_core::lower_bounds::{best_lower_bound, CertifiedGap};
-use mmb_core::pipeline::{PipelineConfig, ScratchPolicy};
+use mmb_core::pipeline::{CoarsenConfig, PipelineConfig, ScratchPolicy};
 use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::io::{parse_metis, write_metis};
 use mmb_graph::Workspace;
 use mmb_instances::corpus::Corpus;
 
@@ -85,6 +97,53 @@ pub struct ScalingRow {
     pub lower: f64,
     /// Certified gap ratio of the measured solve: `max ∂ / lower`.
     pub certified_ratio: f64,
+}
+
+/// One row of the large-`n` suite (`"large"`): the full scale path —
+/// METIS round-trip ingestion plus a coarsening-cascade solve — at grid
+/// sizes from `10^5` up.
+#[derive(Clone, Debug)]
+pub struct LargeRow {
+    /// Grid side length (instance is `side × side`).
+    pub side: usize,
+    /// `|V|`.
+    pub n: usize,
+    /// `|E|`.
+    pub m: usize,
+    /// Number of classes.
+    pub k: usize,
+    /// Wall-clock of the streaming METIS parse (document → CSR).
+    pub ingest_ms: f64,
+    /// Wall-clock of solver build + cascade solve.
+    pub solve_ms: f64,
+    /// Workspace `peak_total_bytes` across ingest + solve: pooled scratch
+    /// high-water plus the ingestion/coarsening arena high-water — the
+    /// allocation-based peak-RSS proxy.
+    pub peak_bytes: u64,
+    /// The achieved max boundary cost (trajectory data, not gated).
+    pub max_boundary: f64,
+    /// Whether the projected coloring satisfies eq. (1) exactly (always
+    /// true for an emitted report; the run aborts otherwise).
+    pub strictly_balanced: bool,
+}
+
+/// The per-row budgets the validator enforces on committed large rows:
+/// `(wall_clock_ms, peak_bytes)` as a function of `n`.
+///
+/// Single source of truth — the runner records measurements, the
+/// validator recomputes the budget from the row's own `n`, so a committed
+/// baseline cannot quietly carry a budget the code no longer endorses.
+/// The byte budget is linear in `n` (CSR + arenas + pooled scratch are
+/// all `O(n + m)` with `m ≈ 2n` on grids); the wall-clock budget is
+/// linear with a generous constant for slow CI hosts. The per-vertex
+/// wall-clock constant is calibrated against the measured `n = 10^7`
+/// run, where the working set no longer fits in cache — per-vertex cost
+/// there is ~10× the in-cache `n = 10^5` figure, so small-`n` rows pass
+/// with slack while the largest row keeps ~1.7× headroom.
+pub fn large_budget(n: usize) -> (f64, u64) {
+    let ms = 10_000.0 + n as f64 * 0.04;
+    let bytes = 128 * 1024 * 1024 + 700 * n as u64;
+    (ms, bytes)
 }
 
 /// One row of the batch (`solve_many`) suite.
@@ -150,7 +209,7 @@ pub fn compute_corpus_gaps() -> Vec<GapRow> {
     rows
 }
 
-/// The full perf report serialized into `BENCH_5.json`.
+/// The full perf report serialized into `BENCH_6.json`.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
     /// `"quick"` (CI smoke) or `"full"`.
@@ -159,6 +218,9 @@ pub struct PerfReport {
     pub threads_available: usize,
     /// Scaling suite rows, smallest instance first.
     pub scaling: Vec<ScalingRow>,
+    /// Large-`n` suite rows, smallest instance first (quick mode runs
+    /// only the `10^5` row).
+    pub large: Vec<LargeRow>,
     /// Batch-suite instance count.
     pub batch_instances: usize,
     /// Batch suite rows, by thread count.
@@ -285,6 +347,74 @@ pub fn run(quick: bool) -> PerfReport {
         });
     }
 
+    // Large-n suite: serialize a grid to METIS, re-ingest it through the
+    // streaming parser, and solve with the coarsening cascade — the
+    // million-vertex scale path, measured end to end. Runs on a fresh
+    // thread so the workspace counters see exactly this suite's arenas.
+    let large_sides: &[usize] = if quick { &[320] } else { &[320, 1000, 3163] };
+    let large_k = 8;
+    let mut large = Vec::new();
+    for &side in large_sides {
+        let row = std::thread::spawn(move || {
+            let grid = GridGraph::lattice(&[side, side]);
+            let n = grid.graph.num_vertices();
+            let m = grid.graph.num_edges();
+            let weights = det_weights(n, 17);
+            let costs = vec![1.0; m];
+            let doc = write_metis(&grid.graph, &weights, &costs);
+            drop((grid, weights, costs));
+            Workspace::with_local(|ws| ws.reset_stats());
+            let t = Instant::now();
+            let mg = parse_metis(&doc).expect("self-written METIS parses");
+            let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(doc);
+            let inst = Instance::new(mg.graph, mg.costs, mg.weights).expect("round-trip is valid");
+            let cfg = PipelineConfig {
+                coarsen: Some(CoarsenConfig::default()),
+                ..PipelineConfig::default()
+            };
+            let t = Instant::now();
+            let solver = Solver::for_instance(&inst)
+                .classes(large_k)
+                .config(cfg)
+                .build()
+                .expect("valid");
+            let report = solver.solve();
+            let solve_ms = t.elapsed().as_secs_f64() * 1e3;
+            let stats = Workspace::with_local(|ws| ws.stats());
+            assert!(
+                report.is_strictly_balanced(),
+                "cascade solve not strictly balanced at side {side}"
+            );
+            LargeRow {
+                side,
+                n,
+                m,
+                k: large_k,
+                ingest_ms,
+                solve_ms,
+                peak_bytes: stats.peak_total_bytes(n),
+                max_boundary: report.max_boundary,
+                strictly_balanced: true,
+            }
+        })
+        .join()
+        .expect("large-n row must not panic");
+        let (budget_ms, budget_bytes) = large_budget(row.n);
+        assert!(
+            row.ingest_ms + row.solve_ms <= budget_ms,
+            "large-n row side {side} over wall-clock budget: {:.0} + {:.0} > {budget_ms:.0} ms",
+            row.ingest_ms,
+            row.solve_ms
+        );
+        assert!(
+            row.peak_bytes <= budget_bytes,
+            "large-n row side {side} over memory budget: {} > {budget_bytes} bytes",
+            row.peak_bytes
+        );
+        large.push(row);
+    }
+
     // Batch suite: a stream of distinct instances through solve_many.
     let batch_sides: &[usize] = if quick {
         &[8, 10, 12, 14]
@@ -336,6 +466,7 @@ pub fn run(quick: bool) -> PerfReport {
             .map(usize::from)
             .unwrap_or(1),
         scaling,
+        large,
         batch_instances: instances.len(),
         batch,
         corpus_gaps: compute_corpus_gaps(),
@@ -363,11 +494,11 @@ fn fnum_exact(x: f64) -> String {
 }
 
 impl PerfReport {
-    /// Serialize to the `BENCH_5.json` schema (`"mmb-bench-5"`).
+    /// Serialize to the `BENCH_6.json` schema (`"mmb-bench-6"`).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mmb-bench-5\",\n");
+        s.push_str("  \"schema\": \"mmb-bench-6\",\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!(
             "  \"host\": {{ \"threads_available\": {} }},\n",
@@ -403,6 +534,27 @@ impl PerfReport {
                 r.ws_peak_live,
                 r.ws_peak_bytes,
                 if i + 1 < self.scaling.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"large\": [\n");
+        for (i, r) in self.large.iter().enumerate() {
+            s.push_str(&format!(
+                concat!(
+                    "    {{ \"side\": {}, \"n\": {}, \"m\": {}, \"k\": {}, ",
+                    "\"ingest_ms\": {}, \"solve_ms\": {}, \"peak_bytes\": {}, ",
+                    "\"max_boundary\": {}, \"strictly_balanced\": {} }}{}\n"
+                ),
+                r.side,
+                r.n,
+                r.m,
+                r.k,
+                fnum(r.ingest_ms),
+                fnum(r.solve_ms),
+                r.peak_bytes,
+                fnum(r.max_boundary),
+                r.strictly_balanced,
+                if i + 1 < self.large.len() { "," } else { "" },
             ));
         }
         s.push_str("  ],\n");
@@ -455,7 +607,7 @@ impl PerfReport {
     /// Human-readable summary printed alongside the JSON.
     pub fn summary(&self) -> String {
         let mut s = String::new();
-        s.push_str("# perf baselines (BENCH_5)\n");
+        s.push_str("# perf baselines (BENCH_6)\n");
         s.push_str(
             "| n | k | alloc ms | workspace ms | speedup | stage ms (P7/P11/P12) | lower | gap |\n",
         );
@@ -475,6 +627,20 @@ impl PerfReport {
                 r.stage_ms[2],
                 r.lower,
                 r.certified_ratio
+            ));
+        }
+        for r in &self.large {
+            let (budget_ms, budget_bytes) = large_budget(r.n);
+            s.push_str(&format!(
+                "large: n = {} (k = {}) — ingest {:.0} ms, solve {:.0} ms, \
+                 peak {:.1} MiB (budgets: {:.0} ms, {:.1} MiB)\n",
+                r.n,
+                r.k,
+                r.ingest_ms,
+                r.solve_ms,
+                r.peak_bytes as f64 / (1024.0 * 1024.0),
+                budget_ms,
+                budget_bytes as f64 / (1024.0 * 1024.0),
             ));
         }
         s.push_str(&format!(
@@ -684,15 +850,18 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_5.json` document: parses, checks the schema tag and
+/// Validate a `BENCH_6.json` document: parses, checks the schema tag and
 /// every field the downstream tooling (CI, EXPERIMENTS.md tables) reads —
-/// including the per-row certified gap introduced with `mmb-bench-4` and
-/// the corpus gap table introduced with `mmb-bench-5` (which must carry
-/// at least one entry proven optimal past the `n = 16` oracle cap).
+/// including the per-row certified gap introduced with `mmb-bench-4`, the
+/// corpus gap table introduced with `mmb-bench-5` (which must carry at
+/// least one entry proven optimal past the `n = 16` oracle cap), and the
+/// large-`n` suite introduced with `mmb-bench-6`: every row within the
+/// [`large_budget`] wall-clock and peak-bytes budgets for its size, and —
+/// on full-mode documents — at least one row at `n ≥ 10^6`.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let doc = parse_json(text)?;
     let schema = doc.get("schema").ok_or("missing \"schema\"")?;
-    if schema != &Json::Str("mmb-bench-5".into()) {
+    if schema != &Json::Str("mmb-bench-6".into()) {
         return Err(format!("unexpected schema tag: {schema:?}"));
     }
     for key in ["mode", "host", "batch_instances", "colorings_bit_identical"] {
@@ -749,6 +918,50 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 "scaling[{i}].certified.lower must be positive, got {lower}"
             ));
         }
+    }
+    let large = doc
+        .get("large")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array \"large\"")?;
+    if large.is_empty() {
+        return Err("\"large\" must not be empty".into());
+    }
+    for (i, row) in large.iter().enumerate() {
+        let num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("large[{i}].{key} must be a finite number"))
+        };
+        let n = num("n")? as usize;
+        for key in ["side", "m", "k"] {
+            num(key)?;
+        }
+        let (ingest_ms, solve_ms) = (num("ingest_ms")?, num("solve_ms")?);
+        let peak_bytes = num("peak_bytes")? as u64;
+        num("max_boundary")?;
+        if row.get("strictly_balanced") != Some(&Json::Bool(true)) {
+            return Err(format!("large[{i}].strictly_balanced must be true"));
+        }
+        let (budget_ms, budget_bytes) = large_budget(n);
+        if ingest_ms + solve_ms > budget_ms {
+            return Err(format!(
+                "large[{i}] (n = {n}) over wall-clock budget: \
+                 {ingest_ms:.0} + {solve_ms:.0} > {budget_ms:.0} ms"
+            ));
+        }
+        if peak_bytes > budget_bytes {
+            return Err(format!(
+                "large[{i}] (n = {n}) over memory budget: \
+                 {peak_bytes} > {budget_bytes} bytes"
+            ));
+        }
+    }
+    if doc.get("mode") == Some(&Json::Str("full".into()))
+        && !large
+            .iter()
+            .any(|r| r.get("n").and_then(Json::as_num).unwrap_or(0.0) >= 1e6)
+    {
+        return Err("full-mode document must carry a large row with n >= 10^6".into());
     }
     let batch = doc
         .get("batch")
@@ -881,6 +1094,12 @@ mod tests {
         assert!(report.colorings_bit_identical);
         assert_eq!(report.scaling.len(), 2);
         assert_eq!(report.batch.len(), 3);
+        // Quick mode runs exactly the 10^5 large row, within budget (the
+        // validator re-enforced this from the serialized document too).
+        assert_eq!(report.large.len(), 1);
+        let lr = &report.large[0];
+        assert!(lr.n >= 100_000 && lr.strictly_balanced);
+        assert!(lr.peak_bytes > 0, "arena counters never charged");
         // The workspace path must reuse buffers: far fewer fresh
         // allocations than checkouts.
         for row in &report.scaling {
@@ -992,6 +1211,37 @@ mod tests {
         assert_ne!(doctored, json, "test setup failed to doctor the baseline");
         let err = gap_regression_check(&doctored).unwrap_err();
         assert!(err.contains("regressed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validator_enforces_large_budgets() {
+        let report = run(true);
+        let mut over_time = report.clone();
+        over_time.large[0].solve_ms = large_budget(over_time.large[0].n).0 + 1.0;
+        let err = validate_bench_json(&over_time.to_json()).unwrap_err();
+        assert!(err.contains("wall-clock budget"), "unexpected error: {err}");
+        let mut over_mem = report;
+        over_mem.large[0].peak_bytes = large_budget(over_mem.large[0].n).1 + 1;
+        let err = validate_bench_json(&over_mem.to_json()).unwrap_err();
+        assert!(err.contains("memory budget"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn gap_gate_accepts_previous_schema_documents() {
+        // The regression gate matches corpus_gaps rows only — a committed
+        // baseline from before the mmb-bench-6 rename (no "large" array,
+        // old schema tag) must still gate, so the rename cannot lose the
+        // recorded gap history in the changeover commit.
+        let report = run(true);
+        let old_schema = report
+            .to_json()
+            .replace("\"schema\": \"mmb-bench-6\"", "\"schema\": \"mmb-bench-5\"");
+        assert!(
+            validate_bench_json(&old_schema).is_err(),
+            "bench-verify must reject the old tag"
+        );
+        let msg = gap_regression_check(&old_schema).expect("gate must accept old documents");
+        assert!(msg.contains("none regressed"), "{msg}");
     }
 
     #[test]

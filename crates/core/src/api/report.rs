@@ -74,7 +74,7 @@ pub struct Report {
     pub stages: StageReport,
     /// Wall-clock milliseconds per pipeline stage
     /// `[Prop 7, Prop 11, Prop 12]` of the solve that produced this
-    /// report (perf baselines; `BENCH_5.json`).
+    /// report (perf baselines; `BENCH_6.json`).
     pub stage_millis: [f64; 3],
     /// Certified optimality gap — the best lower bound from the
     /// [`lower_bounds`](crate::lower_bounds) certifier stack paired with

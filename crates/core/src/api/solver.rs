@@ -264,6 +264,13 @@ impl<'i> Solver<'i> {
     }
 
     fn solve_in(&self, ws: &Workspace) -> Report {
+        if let Some(cc) = self.cfg.coarsen {
+            if self.inst.num_vertices() > cc.params.target_vertices {
+                if let Some(report) = self.solve_coarsened(&cc, ws) {
+                    return report;
+                }
+            }
+        }
         let inst = self.inst;
         let (g, costs, weights) = (inst.graph(), inst.costs(), inst.weights());
         let domain = inst.domain();
@@ -329,6 +336,99 @@ impl<'i> Solver<'i> {
             (t3 - t2).as_secs_f64() * 1e3,
         ];
         report
+    }
+
+    /// The large-`n` path (see [`crate::coarsen`] and DESIGN.md §13):
+    /// contract the host down to the cascade target, run the three stages
+    /// there via a coarse sub-solver, project the result back with
+    /// per-level KL refinement, and restore strict balance on the host
+    /// with a final `BinPack2` — projection preserves class weights
+    /// exactly, but the host's smaller `‖w‖∞` tightens eq. (1), so the
+    /// rebalance is mandatory, not defensive. Returns `None` when no
+    /// contraction was possible (edgeless host), in which case the caller
+    /// falls through to the direct solve.
+    fn solve_coarsened(
+        &self,
+        cc: &crate::pipeline::CoarsenConfig,
+        ws: &Workspace,
+    ) -> Option<Report> {
+        let inst = self.inst;
+        let (g, costs, weights) = (inst.graph(), inst.costs(), inst.weights());
+
+        // lint: allow(nondeterminism) — timestamps feed only the report's
+        // observational `timings` field, never the coloring.
+        let t0 = std::time::Instant::now();
+        let front = crate::coarsen::CoarseningFront::build(g, costs, weights, &cc.params);
+        if front.num_levels() == 0 {
+            return None;
+        }
+        let (cg, ccosts, cweights) = front.coarsest((g, costs, weights));
+        let mut coarse_inst = Instance::new(cg.clone(), ccosts.to_vec(), cweights.to_vec())
+            .expect("contraction of a valid instance is valid");
+        for m in inst.extra_measures() {
+            coarse_inst = coarse_inst
+                .with_extra_measure(front.coarsen_measure(m))
+                .expect("coarsened measure of a valid measure is valid");
+        }
+        let coarse_solver = Solver::for_instance(&coarse_inst)
+            .classes(self.k)
+            .config(PipelineConfig {
+                coarsen: None,
+                ..self.cfg.clone()
+            })
+            .build()
+            .expect("k and p were validated at the host build");
+        let coarse = coarse_solver.solve_in(ws);
+        // lint: allow(nondeterminism) — observational timing only, as above.
+        let t1 = std::time::Instant::now();
+
+        // Intermediate stages project plainly (they are ablation data);
+        // the final coloring projects with per-level KL refinement.
+        let host_map = front.host_map(g.num_vertices());
+        let project_plain = |chi: &mmb_graph::Coloring| {
+            let mut out = mmb_graph::Coloring::new_uncolored(g.num_vertices(), self.k);
+            for v in 0..g.num_vertices() as u32 {
+                if let Some(c) = chi.get(host_map[v as usize]) {
+                    out.set(v, c);
+                }
+            }
+            out
+        };
+        let stage1 = project_plain(&coarse.stages.multibalanced);
+        let stage2 = project_plain(&coarse.stages.almost_strict);
+        let projected = front
+            .project_to_host((g, costs, weights), coarse.coloring, |fg, fc, fw, chi| {
+                crate::refine::refine(fg, fc, fw, chi, &cc.kl)
+            })
+            .expect("level triples are valid by construction");
+        let stage3 = binpack2(g, &self.splitter, &projected, inst.domain(), weights);
+        // lint: allow(nondeterminism) — observational timing only, as above.
+        let t2 = std::time::Instant::now();
+        debug_assert!(stage3.is_total(), "cascade must color every vertex");
+
+        let mut report = Report::assemble(
+            g,
+            costs,
+            weights,
+            inst.max_weight(),
+            inst.max_cost(),
+            self.c_norm_p,
+            self.k,
+            self.cfg.p,
+            self.splitter.name().to_owned(),
+            stage1,
+            stage2,
+            stage3,
+        );
+        // Coarsening folds into stage 1's slot, projection + rebalance
+        // into stage 3's; stage 2 keeps the coarse shrink time.
+        let coarsen_ms = (t1 - t0).as_secs_f64() * 1e3 - coarse.stage_millis.iter().sum::<f64>();
+        report.stage_millis = [
+            coarsen_ms.max(0.0) + coarse.stage_millis[0],
+            coarse.stage_millis[1],
+            coarse.stage_millis[2] + (t2 - t1).as_secs_f64() * 1e3,
+        ];
+        Some(report)
     }
 
     /// [`Solver::solve`], plus a certified optimality gap: the

@@ -87,6 +87,7 @@
 pub mod api;
 pub mod bnb;
 pub mod bounds;
+pub mod coarsen;
 pub mod conquer;
 pub mod failpoint;
 pub mod lower_bounds;
@@ -95,6 +96,7 @@ pub mod oracle;
 pub mod pi;
 pub mod pipeline;
 pub mod rebalance;
+pub mod refine;
 pub mod resilient;
 pub mod shrink;
 pub mod strict;
@@ -106,12 +108,16 @@ pub use api::{
     SolveError, Solver, SolverBuilder, SplitterChoice, Theorem4Pipeline,
 };
 pub use bnb::{BnbBound, BnbConfig, BnbPartitioner, BnbSolution};
+pub use coarsen::{CoarsenParams, CoarseningFront};
 pub use lower_bounds::{
     best_lower_bound, certify, static_lower_bound, Certificate, CertifiedGap, LowerBound,
     LowerBoundReport,
 };
 pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
-pub use pipeline::{decompose, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy};
+pub use pipeline::{
+    decompose, CoarsenConfig, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy,
+};
+pub use refine::{refine, KlParams};
 pub use resilient::{
     DeadlineBudget, Resilience, ResilientConfig, ResilientSolver, RetryPolicy, RungOutcome,
 };

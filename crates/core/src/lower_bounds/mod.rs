@@ -65,7 +65,7 @@
 //! [`Solver::solve_certified`](crate::api::Solver::solve_certified)
 //! threads into [`Report`](crate::api::Report), the corpus table
 //! (`reproduce corpus` gains a gap column and gate) and the perf
-//! baselines (`BENCH_5.json`).
+//! baselines (`BENCH_6.json`).
 //!
 //! ## Soundness discipline
 //!

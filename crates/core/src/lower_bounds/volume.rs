@@ -142,7 +142,16 @@ fn component_weights(inst: &Instance) -> Vec<f64> {
 /// Exhaustive (pruned) search: can the component weights be grouped into
 /// `k` classes with every class sum inside `[lo, hi]`? Returns `None`
 /// when the node budget runs out (undecided).
+///
+/// Recursion depth equals the component count, so item count doubles as a
+/// depth guard: both callers bound it via `max_components`, and anything
+/// past 64 declines as undecided rather than trusting the caller — a
+/// replayed certificate claiming thousands of components must not turn
+/// into call-stack depth.
 fn grouping_feasible(cw: &[f64], k: usize, lo: f64, hi: f64, budget: &mut u64) -> Option<bool> {
+    if cw.len() > 64 {
+        return None;
+    }
     fn rec(
         cw: &[f64],
         i: usize,

@@ -26,6 +26,8 @@ use mmb_graph::{Coloring, Graph};
 use mmb_splitters::Splitter;
 
 use crate::api::{Instance, Solver, SplitterChoice};
+use crate::coarsen::CoarsenParams;
+use crate::refine::KlParams;
 use crate::shrink::ShrinkParams;
 
 pub use crate::api::error::{InstanceError, SolveError};
@@ -42,10 +44,38 @@ pub type DecomposeError = SolveError;
 /// [`Workspace`](mmb_graph::Workspace) (`O(touched)` per buffer instead
 /// of `O(n)`) and the allocation-free inner loops. `Transient` preserves
 /// the **pre-overhaul reference implementations** — fresh buffers and
-/// per-call allocation — so the `BENCH_5.json` perf baselines can report
+/// per-call allocation — so the `BENCH_6.json` perf baselines can report
 /// old-vs-new side by side. Both policies produce **bit-identical
 /// colorings** (property-tested); only cost profiles differ.
 pub type ScratchPolicy = mmb_graph::workspace::ScratchMode;
+
+/// The coarsening cascade knob of [`PipelineConfig`]: contract the host
+/// graph to roughly [`CoarsenParams::target_vertices`] before the
+/// divide-and-conquer runs, then project back with per-level KL
+/// refinement and a final host-level `BinPack2` that restores strict
+/// balance exactly (projection preserves class *weights* but the host's
+/// smaller `‖w‖∞` tightens eq. (1), so a rebalance is mandatory — see
+/// DESIGN.md §13).
+#[derive(Clone, Copy, Debug)]
+pub struct CoarsenConfig {
+    /// Cascade stops (target size, level cap, matching seed).
+    pub params: CoarsenParams,
+    /// Per-level KL refinement applied on the way back up. Kept light by
+    /// default (2 passes) — at `n = 10^6` every pass is a full sweep.
+    pub kl: KlParams,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        Self {
+            params: CoarsenParams::default(),
+            kl: KlParams {
+                max_passes: 2,
+                balance_factor: 1.1,
+            },
+        }
+    }
+}
 
 /// Configuration of the decomposition pipeline.
 #[derive(Clone, Debug)]
@@ -60,6 +90,12 @@ pub struct PipelineConfig {
     pub skip_shrink: bool,
     /// Scratch-buffer sourcing (see [`ScratchPolicy`]; default reuse).
     pub scratch: ScratchPolicy,
+    /// Coarsening cascade for very large hosts: `Some(cfg)` contracts the
+    /// graph to `cfg.params.target_vertices` first, runs the three stages
+    /// there, and projects back (see [`CoarsenConfig`]). `None` (default)
+    /// solves the host directly — the theorem-faithful path. Instances
+    /// already at or below the target are solved directly either way.
+    pub coarsen: Option<CoarsenConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -69,6 +105,7 @@ impl Default for PipelineConfig {
             shrink: ShrinkParams::default(),
             skip_shrink: false,
             scratch: ScratchPolicy::Reuse,
+            coarsen: None,
         }
     }
 }

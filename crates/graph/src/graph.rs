@@ -12,6 +12,67 @@ pub type VertexId = u32;
 /// Dense edge identifier (`0..m`).
 pub type EdgeId = u32;
 
+/// The declared graph shape does not fit the dense `u32` id space the CSR
+/// representation uses.
+///
+/// The CSR offsets, adjacency cursors, and edge ids are all `u32`: a graph
+/// with `n ≥ u32::MAX` vertices or `2m > u32::MAX` adjacency entries would
+/// silently wrap those counters and build a corrupt adjacency. The check
+/// is pure arithmetic on the declared counts, so callers (the METIS
+/// parser, ingestion fronts) can refuse an oversized instance *before*
+/// allocating anything sized by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphCapacityError {
+    /// `n ≥ u32::MAX` — vertex ids would not be dense `u32`s.
+    TooManyVertices {
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// `2m > u32::MAX` — CSR offsets/cursors or edge ids would wrap.
+    TooManyEdges {
+        /// The declared (deduplicated) edge count.
+        m: usize,
+    },
+}
+
+impl fmt::Display for GraphCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphCapacityError::TooManyVertices { n } => write!(
+                f,
+                "{n} vertices exceed the dense u32 id space (max {})",
+                u32::MAX - 1
+            ),
+            GraphCapacityError::TooManyEdges { m } => write!(
+                f,
+                "{m} edges need {} adjacency entries, exceeding the u32 CSR \
+                 offset space (max {})",
+                2 * m,
+                u32::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphCapacityError {}
+
+/// Check that a graph with `n` vertices and `m` (deduplicated) edges fits
+/// the `u32` CSR id space — see [`GraphCapacityError`].
+///
+/// `O(1)`: validates the declared counts directly, without allocating, so
+/// a guard against a 4-billion-edge input costs nothing.
+pub fn csr_capacity_check(n: usize, m: usize) -> Result<(), GraphCapacityError> {
+    if n >= u32::MAX as usize {
+        return Err(GraphCapacityError::TooManyVertices { n });
+    }
+    // 2m adjacency entries are indexed by u32 cursors; m edge ids must
+    // also fit (implied by the stronger 2m bound).
+    if m.checked_mul(2).is_none_or(|d| d > u32::MAX as usize) {
+        return Err(GraphCapacityError::TooManyEdges { m });
+    }
+    Ok(())
+}
+
 /// An immutable undirected graph in CSR form.
 ///
 /// The size of the graph in the paper's sense is `|G| = |V| + |E|`
@@ -212,11 +273,35 @@ impl GraphBuilder {
     /// and each adjacency list is sorted by neighbor id, so two builds from
     /// the same edge multiset yield identical graphs with identical
     /// iteration order everywhere.
-    pub fn build(mut self) -> Graph {
+    ///
+    /// # Panics
+    /// Panics if the deduplicated edge count overflows the `u32` CSR id
+    /// space (`2m > u32::MAX`) — use [`GraphBuilder::try_build`] to get
+    /// the typed [`GraphCapacityError`] instead. Silent wraparound of the
+    /// `u32` degree counters is never possible.
+    pub fn build(self) -> Graph {
+        match self.try_build() {
+            Ok(g) => g,
+            // lint: allow(panic-in-lib) — documented contract: `build` is
+            // the infallible convenience over `try_build`, and capacity
+            // overflow is a caller bug (same policy as `add_edge`'s
+            // asserts). The typed path exists and is one call away.
+            Err(e) => panic!("GraphBuilder::build: {e}"),
+        }
+    }
+
+    /// [`GraphBuilder::build`], returning a typed error instead of
+    /// panicking when the graph exceeds the `u32` CSR id space.
+    ///
+    /// The degree counters, prefix-summed offsets, and fill cursors below
+    /// are all `u32`; without this guard a graph with `2m > u32::MAX`
+    /// would wrap them silently and build a corrupt adjacency.
+    pub fn try_build(mut self) -> Result<Graph, GraphCapacityError> {
         self.edges.sort_unstable();
         self.edges.dedup();
         let n = self.n;
         let m = self.edges.len();
+        csr_capacity_check(n, m)?;
         let mut deg = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
             deg[u as usize + 1] += 1;
@@ -243,11 +328,46 @@ impl GraphBuilder {
             let hi = adj_off[v + 1] as usize;
             adj[lo..hi].sort_unstable();
         }
-        Graph {
+        Ok(Graph {
             n,
             adj_off,
             adj,
             edges: self.edges,
+        })
+    }
+}
+
+impl Graph {
+    /// Assemble a [`Graph`] directly from pre-validated CSR parts — the
+    /// streaming-ingestion fast path, which already holds the adjacency in
+    /// flat arenas and must not round-trip through the builder's edge
+    /// buffer (that would double peak memory).
+    ///
+    /// Invariants the caller must guarantee (checked in debug builds):
+    /// `edges` sorted by `(u, v)` with `u < v` and deduplicated; `adj_off`
+    /// of length `n + 1` prefix-summing the degrees; `adj` of length `2m`
+    /// with each vertex's slice sorted by neighbor id and edge ids
+    /// matching `edges`' positions. Capacity (`csr_capacity_check`) must
+    /// already have been enforced.
+    pub(crate) fn from_csr_parts(
+        n: usize,
+        adj_off: Vec<u32>,
+        adj: Vec<(VertexId, EdgeId)>,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Graph {
+        debug_assert_eq!(adj_off.len(), n + 1);
+        debug_assert_eq!(adj.len(), 2 * edges.len());
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges not canonical");
+        debug_assert!(edges.iter().all(|&(u, v)| u < v), "endpoint order");
+        debug_assert!((0..n).all(|v| {
+            let s = &adj[adj_off[v] as usize..adj_off[v + 1] as usize];
+            s.windows(2).all(|w| w[0].0 < w[1].0)
+        }));
+        Graph {
+            n,
+            adj_off,
+            adj,
+            edges,
         }
     }
 }
@@ -395,6 +515,46 @@ mod tests {
         let g = graph_from_edges(3, &[(0, 2)]);
         assert_eq!(g.other_endpoint(0, 0), 2);
         assert_eq!(g.other_endpoint(0, 2), 0);
+    }
+
+    #[test]
+    fn capacity_guard_fires_without_allocating() {
+        // The guard validates declared counts directly — no 4-billion-edge
+        // allocation needed to prove the wraparound is refused.
+        assert_eq!(
+            csr_capacity_check(u32::MAX as usize, 0),
+            Err(GraphCapacityError::TooManyVertices {
+                n: u32::MAX as usize
+            })
+        );
+        // 2m > u32::MAX: the old u32 degree/cursor arithmetic wrapped here.
+        let m_over = (u32::MAX as usize / 2) + 1;
+        assert_eq!(
+            csr_capacity_check(10, m_over),
+            Err(GraphCapacityError::TooManyEdges { m: m_over })
+        );
+        // usize overflow of 2m itself is also caught, not wrapped.
+        assert_eq!(
+            csr_capacity_check(10, usize::MAX),
+            Err(GraphCapacityError::TooManyEdges { m: usize::MAX })
+        );
+        // Boundary: exactly 2m == u32::MAX entries fit.
+        assert_eq!(csr_capacity_check(10, u32::MAX as usize / 2), Ok(()));
+        assert_eq!(csr_capacity_check(0, 0), Ok(()));
+        // The error renders the offending count.
+        let msg = csr_capacity_check(3, m_over).unwrap_err().to_string();
+        assert!(msg.contains("adjacency entries"), "{msg}");
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_input() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.clone().try_build().unwrap();
+        let g2 = b.build();
+        assert_eq!(g.edge_list(), g2.edge_list());
+        assert_eq!(g.num_vertices(), 4);
     }
 
     #[test]

@@ -16,11 +16,23 @@
 //! Each undirected edge appears in both endpoint lines; we validate the
 //! symmetry and collapse it. Partitions are written/read as one class id
 //! per line (the `.part.k` convention).
+//!
+//! Ingestion is **streaming**: [`parse_metis_reader`] consumes any
+//! [`BufRead`] one line at a time, accumulates forward arcs in flat
+//! arenas (no `Vec<Vec<_>>` adjacency, no per-edge hash map), and builds
+//! the CSR directly — two passes over the in-memory arc arena (degree
+//! count, then fill), one pass over the document. Peak memory is a small
+//! constant factor of the final CSR, which is what makes `n = 10^6`–`10^7`
+//! instances ingestible; the high water is recorded on the thread's
+//! [`Workspace`] as `arena_peak_bytes`. [`parse_metis`] is a thin `&str`
+//! wrapper over the same code path.
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::coloring::Coloring;
-use crate::graph::{Graph, GraphBuilder};
+use crate::graph::{csr_capacity_check, Graph};
+use crate::workspace::Workspace;
 
 /// A parsed METIS instance.
 #[derive(Clone, Debug)]
@@ -136,35 +148,368 @@ impl std::error::Error for MetisError {}
 /// an empty adjacency line cannot be distinguished from decoration and
 /// is rejected with a typed error — write such graphs with vertex
 /// weights (as [`write_metis`] does) so every line is non-empty.
+///
+/// This is a thin wrapper over [`parse_metis_reader`], which is the
+/// streaming entry point for inputs too large to hold as one `&str`.
 pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
-    let mut lines = input
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.starts_with('%') && !l.is_empty());
+    parse_metis_reader(input.as_bytes())
+}
 
-    let (hline, header) = lines
-        .next()
-        .ok_or_else(|| MetisError::BadHeader("empty input".into()))?;
+/// Incremental line feed over a [`BufRead`]: 1-based raw line numbers,
+/// running byte totals, and comment/blank skipping, holding at most one
+/// line in memory.
+struct LineFeed<R: BufRead> {
+    reader: R,
+    buf: String,
+    line_no: usize,
+    bytes: usize,
+}
+
+impl<R: BufRead> LineFeed<R> {
+    fn new(reader: R) -> Self {
+        LineFeed {
+            reader,
+            buf: String::new(),
+            line_no: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Read one raw line into `self.buf`; `Ok(false)` at end of input.
+    fn next_raw(&mut self) -> Result<bool, MetisError> {
+        self.buf.clear();
+        match self.reader.read_line(&mut self.buf) {
+            Ok(0) => Ok(false),
+            Ok(k) => {
+                self.bytes += k;
+                self.line_no += 1;
+                Ok(true)
+            }
+            Err(e) => Err(MetisError::BadLine {
+                line: self.line_no + 1,
+                what: format!("read error: {e}"),
+            }),
+        }
+    }
+
+    /// Advance to the next data (non-comment, non-blank) line, leaving it
+    /// in `self.buf`; `Ok(false)` at end of input.
+    fn next_data(&mut self) -> Result<bool, MetisError> {
+        loop {
+            if !self.next_raw()? {
+                return Ok(false);
+            }
+            let t = self.buf.trim();
+            if !t.is_empty() && !t.starts_with('%') {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Consume the rest of the input, counting lines and bytes only.
+    fn drain(&mut self) -> Result<(), MetisError> {
+        while self.next_raw()? {}
+        Ok(())
+    }
+}
+
+fn parse_count(s: &str, line: usize) -> Result<usize, MetisError> {
+    s.parse::<usize>().map_err(|_| MetisError::BadLine {
+        line,
+        what: format!("expected integer, got '{s}'"),
+    })
+}
+
+fn listed_twice(line: usize, nb1: usize, v: usize) -> MetisError {
+    MetisError::BadLine {
+        line,
+        what: format!("neighbor {} listed twice for vertex {}", nb1, v + 1),
+    }
+}
+
+fn asym_weight(line: usize, lo: u32, hi: u32, stored: f64, cost: f64) -> MetisError {
+    MetisError::BadLine {
+        line,
+        what: format!(
+            "asymmetric edge weight on {}-{}: {} vs {}",
+            lo + 1,
+            hi + 1,
+            stored,
+            cost
+        ),
+    }
+}
+
+fn costs_differ(stored: f64, cost: f64) -> bool {
+    (stored - cost).abs() > 1e-9 * (1.0 + cost.abs())
+}
+
+fn vec_bytes<T>(v: &[T]) -> u64 {
+    std::mem::size_of_val(v) as u64
+}
+
+/// Streaming core of [`parse_metis`]: parse a METIS `.graph` document from
+/// any [`BufRead`] in a single pass over the input.
+///
+/// Forward arcs (each edge as seen from its lower endpoint) accumulate in
+/// flat arenas — target ids, costs, and matched flags in parallel vectors,
+/// one offset per vertex — and each vertex's arc range is sorted when its
+/// line completes, so the backward listing from the higher endpoint
+/// resolves by binary search instead of a hash map. The CSR is then built
+/// from the arena in two passes (degree count, then fill). Peak memory is
+/// a small constant factor of the output graph and is recorded on the
+/// thread-local [`Workspace`] as a transient arena charge.
+///
+/// The plausibility caps of [`MetisError::ImplausibleHeader`] need the
+/// document's total line and byte counts, which a stream only knows at end
+/// of input. Body errors are therefore *deferred*: parsing stops at the
+/// first one, the remaining input is drained (counting only), and the caps
+/// are checked first — preserving the historical error precedence of the
+/// eager parser, which scanned the whole document before the body pass.
+pub fn parse_metis_reader<R: BufRead>(reader: R) -> Result<MetisGraph, MetisError> {
+    let mut feed = LineFeed::new(reader);
+
+    if !feed.next_data()? {
+        return Err(MetisError::BadHeader("empty input".into()));
+    }
+    let hline = feed.line_no;
+    let header = feed.buf.trim();
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() < 2 || head.len() > 4 {
         return Err(MetisError::BadHeader(format!("line {hline}: '{header}'")));
     }
-    let parse_usize = |s: &str, line: usize| {
-        s.parse::<usize>().map_err(|_| MetisError::BadLine {
-            line,
-            what: format!("expected integer, got '{s}'"),
-        })
-    };
-    let n = parse_usize(head[0], hline)?;
-    let m = parse_usize(head[1], hline)?;
-    // Plausibility caps, checked before anything is allocated with a
-    // header-derived size: `n` vertices need `n` adjacency lines after
-    // the header, and `m` edges need two neighbor tokens each (one per
-    // endpoint), every token at least one byte. Both budgets come from
-    // the document itself — an adversarial header can therefore never
-    // make the allocations below exceed O(document size).
-    let total_lines = input.lines().count();
+    let n = parse_count(head[0], hline)?;
+    let m = parse_count(head[1], hline)?;
+
+    // First deferrable error (fmt/ncon validation, body errors): recorded,
+    // not returned, until the end-of-input caps have had the final say.
+    let mut deferred: Option<MetisError> = None;
+    let fmt = head.get(2).copied().unwrap_or("000");
+    let mut has_eweights = false;
+    let mut ncon = 0usize;
+    if fmt.is_empty() || fmt.len() > 3 || fmt.bytes().any(|b| b != b'0' && b != b'1') {
+        deferred = Some(MetisError::BadHeader(format!(
+            "line {hline}: fmt field '{fmt}' is not 1–3 binary digits"
+        )));
+    } else {
+        let has_vweights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
+        has_eweights = fmt.as_bytes().last() == Some(&b'1');
+        if has_vweights {
+            match head.get(3).map(|s| parse_count(s, hline)).transpose() {
+                Ok(v) => ncon = v.unwrap_or(1),
+                Err(e) => deferred = Some(e),
+            }
+        }
+    }
+
+    // Forward-arc arenas: arcs of each edge as listed by its lower
+    // endpoint, grouped by that endpoint (`fwd_off`), targets sorted
+    // within each group once the group's line completes.
+    let mut weights: Vec<f64> = Vec::new();
+    let mut fwd_off: Vec<usize> = vec![0];
+    let mut fwd_tgt: Vec<u32> = Vec::new();
+    let mut fwd_cost: Vec<f64> = Vec::new();
+    let mut fwd_back: Vec<bool> = Vec::new();
+    // Arcs listed (so far) only by their higher endpoint: (lo, hi, cost).
+    // Non-empty only for asymmetric documents, which are rejected.
+    let mut orphans: Vec<(u32, u32, f64)> = Vec::new();
+    let mut line_sort: Vec<(u32, f64)> = Vec::new();
+    let mut half_edges = 0usize;
+    let mut missing_vertex: Option<usize> = None;
+    let mut trailing: Option<usize> = None;
+
+    if deferred.is_none() {
+        'body: for v in 0..n {
+            if !feed.next_data()? {
+                missing_vertex = Some(v);
+                break 'body;
+            }
+            let lno = feed.line_no;
+            if v >= u32::MAX as usize {
+                // Unreachable for plausible headers (the caps below bound
+                // n by the line count), but keeps the casts honest.
+                deferred = Some(MetisError::BadLine {
+                    line: lno,
+                    what: format!("vertex {} exceeds the u32 id space", v + 1),
+                });
+                break 'body;
+            }
+            let vv = v as u32;
+            let mut tok = feed.buf.split_whitespace();
+            let mut wv = 1.0;
+            for c in 0..ncon {
+                let Some(w) = tok.next() else {
+                    deferred = Some(MetisError::BadLine {
+                        line: lno,
+                        what: "missing vertex weight".into(),
+                    });
+                    break 'body;
+                };
+                match w.parse::<f64>() {
+                    Ok(val) => {
+                        if c == 0 {
+                            wv = val;
+                        }
+                    }
+                    Err(_) => {
+                        deferred = Some(MetisError::BadLine {
+                            line: lno,
+                            what: format!("bad vertex weight '{w}'"),
+                        });
+                        break 'body;
+                    }
+                }
+            }
+            weights.push(wv);
+            let range_start = fwd_tgt.len();
+            while let Some(nb) = tok.next() {
+                let nb1 = match parse_count(nb, lno) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        deferred = Some(e);
+                        break 'body;
+                    }
+                };
+                if nb1 == 0 || nb1 > n {
+                    deferred = Some(MetisError::BadLine {
+                        line: lno,
+                        what: format!("neighbor {nb1} out of range 1..={n}"),
+                    });
+                    break 'body;
+                }
+                let cost = if has_eweights {
+                    let Some(c) = tok.next() else {
+                        deferred = Some(MetisError::BadLine {
+                            line: lno,
+                            what: "missing edge weight".into(),
+                        });
+                        break 'body;
+                    };
+                    match c.parse::<f64>() {
+                        Ok(x) => x,
+                        Err(_) => {
+                            deferred = Some(MetisError::BadLine {
+                                line: lno,
+                                what: format!("bad edge weight '{c}'"),
+                            });
+                            break 'body;
+                        }
+                    }
+                } else {
+                    1.0
+                };
+                let u_us = nb1 - 1;
+                if u_us == v {
+                    deferred = Some(MetisError::BadLine {
+                        line: lno,
+                        what: format!("self-loop on vertex {}", v + 1),
+                    });
+                    break 'body;
+                }
+                half_edges += 1;
+                if u_us >= u32::MAX as usize {
+                    deferred = Some(MetisError::BadLine {
+                        line: lno,
+                        what: format!("neighbor {nb1} exceeds the u32 id space"),
+                    });
+                    break 'body;
+                }
+                let u = u_us as u32;
+                if u > vv {
+                    fwd_tgt.push(u);
+                    if has_eweights {
+                        fwd_cost.push(cost);
+                    }
+                    fwd_back.push(false);
+                } else {
+                    // Backward half of an edge whose lower endpoint's
+                    // range is already finalized and sorted.
+                    let (lo, hi) = (fwd_off[u_us], fwd_off[u_us + 1]);
+                    match fwd_tgt[lo..hi].binary_search(&vv) {
+                        Ok(i) => {
+                            let idx = lo + i;
+                            let stored = if has_eweights { fwd_cost[idx] } else { 1.0 };
+                            if costs_differ(stored, cost) {
+                                deferred = Some(asym_weight(lno, u, vv, stored, cost));
+                                break 'body;
+                            }
+                            if fwd_back[idx] {
+                                deferred = Some(listed_twice(lno, nb1, v));
+                                break 'body;
+                            }
+                            fwd_back[idx] = true;
+                        }
+                        Err(_) => {
+                            // Only vertex v's own line can mention (u, v)
+                            // again, so a hit here is a same-line duplicate
+                            // of a one-sided listing.
+                            if let Some(o) = orphans.iter().find(|o| o.0 == u && o.1 == vv) {
+                                deferred = Some(if costs_differ(o.2, cost) {
+                                    asym_weight(lno, u, vv, o.2, cost)
+                                } else {
+                                    listed_twice(lno, nb1, v)
+                                });
+                                break 'body;
+                            }
+                            orphans.push((u, vv, cost));
+                        }
+                    }
+                }
+            }
+            // Finalize this vertex's forward range: sort by target (so
+            // later backward lookups can binary-search it) and reject
+            // same-line duplicate listings.
+            let range_end = fwd_tgt.len();
+            if range_end - range_start > 1 {
+                if has_eweights {
+                    line_sort.clear();
+                    line_sort.extend(
+                        fwd_tgt[range_start..range_end]
+                            .iter()
+                            .copied()
+                            .zip(fwd_cost[range_start..range_end].iter().copied()),
+                    );
+                    // Stable: the first listing's cost wins, as with the
+                    // historical first-insert-wins map.
+                    line_sort.sort_by_key(|&(t, _)| t);
+                    for w in line_sort.windows(2) {
+                        if w[0].0 == w[1].0 {
+                            deferred = Some(if costs_differ(w[0].1, w[1].1) {
+                                asym_weight(lno, vv, w[0].0, w[0].1, w[1].1)
+                            } else {
+                                listed_twice(lno, w[0].0 as usize + 1, v)
+                            });
+                            break 'body;
+                        }
+                    }
+                    for (i, &(t, c)) in line_sort.iter().enumerate() {
+                        fwd_tgt[range_start + i] = t;
+                        fwd_cost[range_start + i] = c;
+                    }
+                } else {
+                    fwd_tgt[range_start..range_end].sort_unstable();
+                    for w in fwd_tgt[range_start..range_end].windows(2) {
+                        if w[0] == w[1] {
+                            deferred = Some(listed_twice(lno, w[0] as usize + 1, v));
+                            break 'body;
+                        }
+                    }
+                }
+            }
+            fwd_off.push(range_end);
+        }
+        if deferred.is_none() && missing_vertex.is_none() && feed.next_data()? {
+            trailing = Some(feed.line_no);
+        }
+    }
+
+    // End of input: the plausibility caps are now known and outrank every
+    // deferred error. `n` vertices need `n` data lines after the header;
+    // `m` edges need two neighbor tokens each, every token ≥ one byte.
+    // Both budgets come from the document itself, so an adversarial header
+    // can never have made the arenas above exceed O(document size).
+    feed.drain()?;
+    let total_lines = feed.line_no;
     let line_budget = total_lines.saturating_sub(1);
     if n > line_budget {
         return Err(MetisError::ImplausibleHeader {
@@ -173,7 +518,7 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
             budget: line_budget,
         });
     }
-    let edge_budget = input.len() / 2;
+    let edge_budget = feed.bytes / 2;
     if m > edge_budget {
         return Err(MetisError::ImplausibleHeader {
             what: "edges",
@@ -181,136 +526,43 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
             budget: edge_budget,
         });
     }
-    let fmt = head.get(2).copied().unwrap_or("000");
-    if fmt.is_empty() || fmt.len() > 3 || fmt.bytes().any(|b| b != b'0' && b != b'1') {
-        return Err(MetisError::BadHeader(format!(
-            "line {hline}: fmt field '{fmt}' is not 1–3 binary digits"
-        )));
+    if let Some(e) = deferred {
+        return Err(e);
     }
-    let has_vweights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
-    let has_eweights = fmt.as_bytes().last() == Some(&b'1');
-    let ncon: usize = if has_vweights {
-        head.get(3)
-            .map(|s| parse_usize(s, hline))
-            .transpose()?
-            .unwrap_or(1)
-    } else {
-        0
-    };
+    if let Some(v) = missing_vertex {
+        return Err(MetisError::BadLine {
+            line: total_lines,
+            what: format!(
+                "missing adjacency line for vertex {} (isolated vertices must be \
+                 written with vertex weights; bare empty lines are skipped)",
+                v + 1
+            ),
+        });
+    }
+    if let Some(line) = trailing {
+        return Err(MetisError::TrailingContent { line });
+    }
 
-    let mut builder = GraphBuilder::new(n);
-    let mut weights = vec![1.0; n];
-    // Edge costs keyed by canonical endpoints, with one "seen" flag per
-    // endpoint side so duplicate and one-sided listings get typed errors
-    // instead of leaking into the edge-count arithmetic.
-    let mut cost_map: std::collections::HashMap<(u32, u32), (f64, [bool; 2])> =
-        std::collections::HashMap::new();
-    let mut half_edges = 0usize;
-
-    for v in 0..n as u32 {
-        let Some((lno, line)) = lines.next() else {
-            return Err(MetisError::BadLine {
-                line: total_lines,
-                what: format!(
-                    "missing adjacency line for vertex {} (isolated vertices must be \
-                     written with vertex weights; bare empty lines are skipped)",
-                    v + 1
-                ),
-            });
-        };
-        let mut tok = line.split_whitespace();
-        if has_vweights {
-            for c in 0..ncon {
-                let w = tok.next().ok_or_else(|| MetisError::BadLine {
-                    line: lno,
-                    what: "missing vertex weight".into(),
-                })?;
-                let val = w.parse::<f64>().map_err(|_| MetisError::BadLine {
-                    line: lno,
-                    what: format!("bad vertex weight '{w}'"),
-                })?;
-                if c == 0 {
-                    weights[v as usize] = val;
-                }
-            }
-        }
-        while let Some(nb) = tok.next() {
-            let nb1 = parse_usize(nb, lno)?;
-            if nb1 == 0 || nb1 > n {
-                return Err(MetisError::BadLine {
-                    line: lno,
-                    what: format!("neighbor {nb1} out of range 1..={n}"),
-                });
-            }
-            let u = (nb1 - 1) as u32;
-            let cost = if has_eweights {
-                let c = tok.next().ok_or_else(|| MetisError::BadLine {
-                    line: lno,
-                    what: "missing edge weight".into(),
-                })?;
-                c.parse::<f64>().map_err(|_| MetisError::BadLine {
-                    line: lno,
-                    what: format!("bad edge weight '{c}'"),
-                })?
-            } else {
-                1.0
-            };
-            if u == v {
-                return Err(MetisError::BadLine {
-                    line: lno,
-                    what: format!("self-loop on vertex {}", v + 1),
-                });
-            }
-            half_edges += 1;
-            let key = if v < u { (v, u) } else { (u, v) };
-            let side = usize::from(v != key.0);
-            match cost_map.entry(key) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let mut seen = [false; 2];
-                    seen[side] = true;
-                    e.insert((cost, seen));
-                    builder.add_edge(v, u);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let (stored, seen) = e.get_mut();
-                    if (*stored - cost).abs() > 1e-9 * (1.0 + cost.abs()) {
-                        return Err(MetisError::BadLine {
-                            line: lno,
-                            what: format!(
-                                "asymmetric edge weight on {}-{}: {} vs {}",
-                                key.0 + 1,
-                                key.1 + 1,
-                                stored,
-                                cost
-                            ),
-                        });
-                    }
-                    if seen[side] {
-                        return Err(MetisError::BadLine {
-                            line: lno,
-                            what: format!("neighbor {} listed twice for vertex {}", nb1, v + 1),
-                        });
-                    }
-                    seen[side] = true;
-                }
-            }
-        }
-    }
-    if let Some((lno, _)) = lines.next() {
-        return Err(MetisError::TrailingContent { line: lno });
-    }
     // Every edge must have been listed from both endpoints; report the
-    // smallest offending pair so the error is deterministic.
-    let mut asym: Option<(u32, u32, [bool; 2])> = None;
-    // lint: allow(hash-order-leak) — min-reduction to the lexicographically
-    // smallest offending pair; the result is iteration-order independent.
-    for (&(u, v), &(_, seen)) in &cost_map {
-        if (!seen[0] || !seen[1]) && asym.is_none_or(|(au, av, _)| (u, v) < (au, av)) {
-            asym = Some((u, v, seen));
+    // smallest offending pair so the error is deterministic. The forward
+    // scan visits keys in ascending (lo, hi) order, so its first hit is
+    // already minimal among forward arcs.
+    let mut asym: Option<(u32, u32, bool)> = None;
+    'scan: for (v, w) in fwd_off.windows(2).enumerate() {
+        for idx in w[0]..w[1] {
+            if !fwd_back[idx] {
+                asym = Some((v as u32, fwd_tgt[idx], true));
+                break 'scan;
+            }
         }
     }
-    if let Some((u, v, seen)) = asym {
-        let (listed_by, missing_from) = if seen[0] { (u, v) } else { (v, u) };
+    for &(lo, hi, _) in &orphans {
+        if asym.is_none_or(|(a, b, _)| (lo, hi) < (a, b)) {
+            asym = Some((lo, hi, false));
+        }
+    }
+    if let Some((lo, hi, by_lower)) = asym {
+        let (listed_by, missing_from) = if by_lower { (lo, hi) } else { (hi, lo) };
         return Err(MetisError::AsymmetricAdjacency {
             listed_by: listed_by as usize + 1,
             missing_from: missing_from as usize + 1,
@@ -322,12 +574,61 @@ pub fn parse_metis(input: &str) -> Result<MetisGraph, MetisError> {
             found: half_edges / 2,
         });
     }
-    let graph = builder.build();
-    let costs = graph
-        .edge_list()
-        .iter()
-        .map(|&(u, v)| cost_map[&(u, v)].0)
-        .collect();
+
+    // CSR assembly from the arena: degree count, prefix sum, fill. Edge
+    // ids are the arena's (lo, hi)-ascending order — the same canonical
+    // order `GraphBuilder` assigns.
+    let m_found = fwd_tgt.len();
+    debug_assert_eq!(2 * m_found, half_edges);
+    csr_capacity_check(n, m_found)
+        .map_err(|e| MetisError::BadHeader(format!("graph exceeds the u32 id space: {e}")))?;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_found);
+    for (v, w) in fwd_off.windows(2).enumerate() {
+        for &t in &fwd_tgt[w[0]..w[1]] {
+            edges.push((v as u32, t));
+        }
+    }
+    let mut adj_off = vec![0u32; n + 1];
+    for &(u, v) in &edges {
+        adj_off[u as usize + 1] += 1;
+        adj_off[v as usize + 1] += 1;
+    }
+    let mut acc = 0u32;
+    for o in adj_off.iter_mut() {
+        acc += *o;
+        *o = acc;
+    }
+    let mut cursor = adj_off.clone();
+    let mut adj = vec![(0u32, 0u32); 2 * m_found];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let eid = e as u32;
+        adj[cursor[u as usize] as usize] = (v, eid);
+        cursor[u as usize] += 1;
+        adj[cursor[v as usize] as usize] = (u, eid);
+        cursor[v as usize] += 1;
+    }
+    drop(cursor);
+    let costs = if has_eweights {
+        fwd_cost
+    } else {
+        vec![1.0; m_found]
+    };
+
+    // Record the ingestion high water (arenas + CSR coexist here) on the
+    // thread's workspace — the RSS proxy the scaling bench budgets.
+    let arena_bytes = vec_bytes(&fwd_tgt)
+        + vec_bytes(&fwd_back)
+        + vec_bytes(&fwd_off)
+        + vec_bytes(&orphans)
+        + vec_bytes(&line_sort)
+        + vec_bytes(&edges)
+        + vec_bytes(&adj)
+        + vec_bytes(&adj_off) * 2
+        + vec_bytes(&weights)
+        + vec_bytes(&costs);
+    Workspace::with_local(|ws| ws.note_transient_arena_bytes(arena_bytes));
+
+    let graph = Graph::from_csr_parts(n, adj_off, adj, edges);
     Ok(MetisGraph {
         graph,
         weights,

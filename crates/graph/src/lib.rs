@@ -51,7 +51,7 @@ pub mod vertex_set;
 pub mod workspace;
 
 pub use coloring::Coloring;
-pub use graph::{EdgeId, Graph, GraphBuilder, VertexId};
+pub use graph::{csr_capacity_check, EdgeId, Graph, GraphBuilder, GraphCapacityError, VertexId};
 pub use vertex_set::VertexSet;
 pub use workspace::{ScratchMeasure, ScratchMode, Workspace, WorkspaceStats};
 

@@ -82,7 +82,7 @@ pub fn with_scratch_mode<R>(mode: ScratchMode, f: impl FnOnce() -> R) -> R {
 }
 
 /// Allocation / reuse counters of a [`Workspace`] — the "RSS proxy" the
-/// perf baselines record (`BENCH_5.json`).
+/// perf baselines record (`BENCH_6.json`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkspaceStats {
     /// Buffer checkouts ([`Workspace::measure`] calls).
@@ -100,6 +100,13 @@ pub struct WorkspaceStats {
     pub peak_live: usize,
     /// Currently checked-out buffers.
     pub live: usize,
+    /// Bytes currently charged by flat-arena users (streaming METIS
+    /// ingestion, the coarsening cascade) via
+    /// [`Workspace::charge_arena_bytes`].
+    pub arena_live_bytes: u64,
+    /// High-water mark of [`arena_live_bytes`](Self::arena_live_bytes) —
+    /// the ingestion + coarsening component of the RSS proxy.
+    pub arena_peak_bytes: u64,
 }
 
 impl WorkspaceStats {
@@ -107,6 +114,12 @@ impl WorkspaceStats {
     /// `peak_live × n × (8 + 4)` (values + stamps).
     pub fn peak_bytes(&self, n: usize) -> u64 {
         self.peak_live as u64 * n as u64 * 12
+    }
+
+    /// Full RSS proxy: scratch-buffer high water for universe `n` plus the
+    /// arena high water charged by ingestion and coarsening.
+    pub fn peak_total_bytes(&self, n: usize) -> u64 {
+        self.peak_bytes(n) + self.arena_peak_bytes
     }
 }
 
@@ -214,14 +227,45 @@ impl Workspace {
         *self.stats.borrow()
     }
 
-    /// Zero all counters (buffers stay pooled).
+    /// Zero all counters (buffers stay pooled). Currently-live checkouts
+    /// and arena charges carry over as the new baseline.
     pub fn reset_stats(&self) {
-        let live = self.stats.borrow().live;
+        let (live, arena_live) = {
+            let s = self.stats.borrow();
+            (s.live, s.arena_live_bytes)
+        };
         *self.stats.borrow_mut() = WorkspaceStats {
             live,
             peak_live: live,
+            arena_live_bytes: arena_live,
+            arena_peak_bytes: arena_live,
             ..Default::default()
         };
+    }
+
+    /// Charge `bytes` of flat-arena memory (streaming ingestion buffers, a
+    /// coarsening level's contracted graph) against this workspace's RSS
+    /// proxy. Pair with [`release_arena_bytes`](Self::release_arena_bytes)
+    /// when the arena is dropped; the high water lands in
+    /// [`WorkspaceStats::arena_peak_bytes`].
+    pub fn charge_arena_bytes(&self, bytes: u64) {
+        let mut s = self.stats.borrow_mut();
+        s.arena_live_bytes += bytes;
+        s.arena_peak_bytes = s.arena_peak_bytes.max(s.arena_live_bytes);
+    }
+
+    /// Release a previous [`charge_arena_bytes`](Self::charge_arena_bytes).
+    pub fn release_arena_bytes(&self, bytes: u64) {
+        let mut s = self.stats.borrow_mut();
+        s.arena_live_bytes = s.arena_live_bytes.saturating_sub(bytes);
+    }
+
+    /// Record a transient arena high water: charge and immediately release,
+    /// so only [`WorkspaceStats::arena_peak_bytes`] moves. Used by the
+    /// streaming METIS parser, whose arenas die before it returns.
+    pub fn note_transient_arena_bytes(&self, bytes: u64) {
+        self.charge_arena_bytes(bytes);
+        self.release_arena_bytes(bytes);
     }
 
     /// Test hook: pin the epoch of every pooled buffer, so the

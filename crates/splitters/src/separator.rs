@@ -376,58 +376,83 @@ impl<'g, P: SeparatorProvider> SeparatorSplitter<'g, P> {
         tau
     }
 
-    /// Recursive `Split`: returns `(core, ordered separator vertices)` such
-    /// that `w(core) ≤ target − w_max/2 ≤ w(core) + w(sep)` whenever
+    /// The `Split` procedure: returns `(core, ordered separator vertices)`
+    /// such that `w(core) ≤ target − w_max/2 ≤ w(core) + w(sep)` whenever
     /// reachable, and `∂_W(core + any sep prefix)` only involves edges
     /// incident to collected separator vertices.
+    ///
+    /// The descent is a linear chain (each level recurses into exactly one
+    /// side), so it runs as a loop with two LIFO accumulators instead of
+    /// call-stack recursion — a path graph at `n = 10^6` would otherwise
+    /// blow the stack long before the ⅔-balance contract stops helping.
+    /// Popping the accumulators reassembles the exact innermost-first
+    /// concatenation order of the recursive formulation.
     fn split_rec(
         &self,
         w_set: &VertexSet,
         weights: &[f64],
         target: f64,
         wmax: f64,
-        depth: usize,
     ) -> (Vec<VertexId>, Vec<VertexId>) {
         let n = self.graph.num_vertices();
-        // Trivial case: no costly inner structure, or recursion got stuck —
-        // every vertex may serve as separator at zero relative cost.
-        let tau = self.tau_within(w_set);
-        let pi_total: f64 = w_set.iter().map(|v| tau[v as usize].powf(self.p)).sum();
-        if pi_total <= 0.0 || depth > 64 + 2 * n {
-            return (Vec::new(), w_set.iter().collect());
-        }
-        let pi: Vec<f64> = tau.iter().map(|&t| t.powf(self.p)).collect();
-        let separation = self.provider.separate(w_set, &pi);
-        let Separation {
-            a_only,
-            sep,
-            b_only,
-        } = separation;
-        if a_only.len() + sep.len() < w_set.len() && a_only.is_empty() && sep.is_empty() {
-            // Degenerate provider output; bail out to the trivial case.
-            return (Vec::new(), w_set.iter().collect());
-        }
-        let w_of = |vs: &[VertexId]| vs.iter().map(|&v| weights[v as usize]).sum::<f64>();
-        let wa_only = w_of(&a_only);
-        let wa = wa_only + w_of(&sep);
+        let mut w_set = w_set.clone();
+        let mut target = target;
+        // Case-3 levels prepend `a_only ++ sep` to the core *after* the
+        // inner result; case-1 levels append `sep` after the inner
+        // separator. Pushed outermost-first, popped innermost-first.
+        let mut core_tail: Vec<Vec<VertexId>> = Vec::new();
+        let mut sep_tail: Vec<Vec<VertexId>> = Vec::new();
+        let mut depth = 0usize;
+        let (base_core, base_sep) = loop {
+            // Trivial case: no costly inner structure, or the descent got
+            // stuck — every vertex may serve as separator at zero relative
+            // cost.
+            let tau = self.tau_within(&w_set);
+            let pi_total: f64 = w_set.iter().map(|v| tau[v as usize].powf(self.p)).sum();
+            if pi_total <= 0.0 || depth > 64 + 2 * n {
+                break (Vec::new(), w_set.iter().collect());
+            }
+            let pi: Vec<f64> = tau.iter().map(|&t| t.powf(self.p)).collect();
+            let separation = self.provider.separate(&w_set, &pi);
+            let Separation {
+                a_only,
+                sep,
+                b_only,
+            } = separation;
+            if a_only.len() + sep.len() < w_set.len() && a_only.is_empty() && sep.is_empty() {
+                // Degenerate provider output; bail out to the trivial case.
+                break (Vec::new(), w_set.iter().collect());
+            }
+            let w_of = |vs: &[VertexId]| vs.iter().map(|&v| weights[v as usize]).sum::<f64>();
+            let wa_only = w_of(&a_only);
+            let wa = wa_only + w_of(&sep);
 
-        if target - wmax / 2.0 < wa_only {
-            // Descend into A \ B, same target.
-            let sub = VertexSet::from_iter(n, a_only.iter().copied());
-            let (core, mut inner_sep) = self.split_rec(&sub, weights, target, wmax, depth + 1);
-            inner_sep.extend(sep);
-            (core, inner_sep)
-        } else if target - wmax / 2.0 <= wa {
-            // The splitting value lands inside the separator.
-            (a_only, sep)
-        } else {
-            // Take all of A, descend into B \ A with the residual target.
-            let sub = VertexSet::from_iter(n, b_only.iter().copied());
-            let (mut core, inner_sep) = self.split_rec(&sub, weights, target - wa, wmax, depth + 1);
-            core.extend(a_only);
-            core.extend(sep);
-            (core, inner_sep)
+            if target - wmax / 2.0 < wa_only {
+                // Descend into A \ B, same target.
+                sep_tail.push(sep);
+                w_set = VertexSet::from_iter(n, a_only.iter().copied());
+            } else if target - wmax / 2.0 <= wa {
+                // The splitting value lands inside the separator.
+                break (a_only, sep);
+            } else {
+                // Take all of A, descend into B \ A with the residual target.
+                let mut piece = a_only;
+                piece.extend(sep);
+                core_tail.push(piece);
+                w_set = VertexSet::from_iter(n, b_only.iter().copied());
+                target -= wa;
+            }
+            depth += 1;
+        };
+        let mut core = base_core;
+        while let Some(piece) = core_tail.pop() {
+            core.extend(piece);
         }
+        let mut sep = base_sep;
+        while let Some(s) = sep_tail.pop() {
+            sep.extend(s);
+        }
+        (core, sep)
     }
 }
 
@@ -436,7 +461,7 @@ impl<P: SeparatorProvider> Splitter for SeparatorSplitter<'_, P> {
         let total = set_sum(weights, w_set);
         let target = target.clamp(0.0, total);
         let wmax = mmb_graph::measure::set_max(weights, w_set);
-        let (core, sep) = self.split_rec(w_set, weights, target, wmax, 0);
+        let (core, sep) = self.split_rec(w_set, weights, target, wmax);
         // w(core) < target (invariant), so the best prefix of core ++ sep
         // never stops inside core; prefix_split gives the exact contract.
         let mut order = core;

@@ -1,0 +1,76 @@
+//! Stack-depth regression: million-vertex path graphs.
+//!
+//! A path is the worst case for anything that walks vertex-by-vertex with
+//! call-stack recursion — at `n = 10^6` even a tiny frame overflows the
+//! default 2 MiB test-thread stack thousands of frames in. Everything on
+//! the large-`n` path (component labeling, the centroid machinery, the
+//! `Split` descent, the coarsening cascade) is required to run on explicit
+//! worklists instead; this test pins that by running them all inside a
+//! deliberately *small* (1 MiB) thread stack, so any regression back to
+//! vertex-scaled recursion fails deterministically rather than only on
+//! machines with small defaults.
+
+use mmb_core::coarsen::{CoarsenParams, CoarseningFront};
+use mmb_graph::gen::misc::path;
+use mmb_graph::VertexSet;
+use mmb_splitters::separator::{SeparatorSplitter, TreeCentroidSeparator};
+use mmb_splitters::Splitter;
+
+const N: usize = 1_000_000;
+
+/// Run `f` on a 1 MiB stack; propagates panics.
+fn on_small_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(1 << 20)
+        .spawn(f)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn million_vertex_path_components_and_split() {
+    on_small_stack(|| {
+        let g = path(N);
+        let (comp, t) = g.components();
+        assert_eq!(t, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+
+        // The Split descent on a forest provider: the former recursive
+        // formulation grew one frame per descent level and allowed up to
+        // 64 + 2n levels before its own guard fired.
+        let costs = vec![1.0; g.num_edges()];
+        let weights = vec![1.0; N];
+        let sp = SeparatorSplitter::new(&g, &costs, TreeCentroidSeparator::new(&g), 2.0);
+        let w = VertexSet::full(N);
+        let u = sp.split(&w, &weights, N as f64 / 2.0);
+        let wu = u.len() as f64;
+        // The split contract: w(U) ≤ target ≤ w(U) + wmax.
+        assert!(
+            wu <= N as f64 / 2.0 && N as f64 / 2.0 <= wu + 1.0,
+            "w(U) = {wu}"
+        );
+    });
+}
+
+#[test]
+fn million_vertex_path_coarsens_without_recursion() {
+    on_small_stack(|| {
+        let g = path(N);
+        let costs = vec![1.0; g.num_edges()];
+        let weights = vec![1.0; N];
+        let params = CoarsenParams {
+            target_vertices: 4096,
+            ..Default::default()
+        };
+        let front = CoarseningFront::build(&g, &costs, &weights, &params);
+        let (cg, _cc, cw) = front.coarsest((&g, &costs, &weights));
+        assert!(
+            cg.num_vertices() <= 4096,
+            "coarsest n = {}",
+            cg.num_vertices()
+        );
+        let total: f64 = cw.iter().sum();
+        assert!((total - N as f64).abs() < 1e-6, "weight drifted: {total}");
+    });
+}

@@ -1,0 +1,90 @@
+//! Bit-identity pin for the `Multilevel` baseline across the coarsening
+//! extraction.
+//!
+//! The heavy-edge matching / contraction / projection machinery moved
+//! from `mmb_baselines::multilevel` into the shared `mmb_core::coarsen`
+//! module (so the pipeline's large-`n` cascade can reuse it). These
+//! golden colorings were captured from the baseline **before** the move;
+//! the refactor is required to be a pure code motion, so any divergence
+//! here — a different rng threading, a changed stop condition, a
+//! non-identical parallel-edge aggregation order — is a bug, not an
+//! update-the-golden event.
+
+use mmb_baselines::multilevel::{multilevel, MultilevelParams};
+use mmb_graph::gen::grid::GridGraph;
+use mmb_graph::gen::tree::random_tree;
+
+const GOLDEN_GRID_K3_SEED7: [u32; 100] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 0,
+    0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2,
+    1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+    2, 2, 2, 2,
+];
+
+const GOLDEN_HEAVY_COLUMN_K2: [u32; 256] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+];
+
+const GOLDEN_TREE_K4_SEED13: [u32; 60] = [
+    0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 0, 2, 0, 1, 0, 2, 0, 1, 3, 1, 3, 2, 1, 0, 2, 2, 2, 0, 3, 0, 1,
+    1, 0, 0, 1, 2, 2, 3, 1, 1, 3, 3, 2, 3, 0, 2, 1, 3, 3, 3, 2, 0, 2, 1, 2, 0, 3, 3, 3,
+];
+
+#[test]
+fn grid_unit_costs_pins_historical_coloring() {
+    let grid = GridGraph::lattice(&[10, 10]);
+    let costs = vec![1.0; grid.graph.num_edges()];
+    let weights = vec![1.0; 100];
+    let params = MultilevelParams {
+        seed: 7,
+        ..Default::default()
+    };
+    let chi = multilevel(&grid.graph, &costs, &weights, 3, &params).unwrap();
+    let got: Vec<u32> = (0..100u32).map(|v| chi.get(v).unwrap()).collect();
+    assert_eq!(got, GOLDEN_GRID_K3_SEED7);
+}
+
+#[test]
+fn heavy_column_grid_pins_historical_coloring() {
+    let grid = GridGraph::lattice(&[16, 16]);
+    let mut costs = vec![1.0; grid.graph.num_edges()];
+    for (e, &(a, b)) in grid.graph.edge_list().iter().enumerate() {
+        let (ca, cb) = (grid.coord(a), grid.coord(b));
+        if ca[0] != cb[0] && ca[0].min(cb[0]) == 7 {
+            costs[e] = 500.0;
+        }
+    }
+    let n = grid.graph.num_vertices();
+    let weights: Vec<f64> = (0..n).map(|v| 1.0 + (v % 3) as f64).collect();
+    let chi = multilevel(
+        &grid.graph,
+        &costs,
+        &weights,
+        2,
+        &MultilevelParams::default(),
+    )
+    .unwrap();
+    let got: Vec<u32> = (0..n as u32).map(|v| chi.get(v).unwrap()).collect();
+    assert_eq!(got, GOLDEN_HEAVY_COLUMN_K2);
+}
+
+#[test]
+fn weighted_tree_pins_historical_coloring() {
+    let g = random_tree(60, 3, 99);
+    let costs: Vec<f64> = (0..g.num_edges()).map(|e| 1.0 + (e % 5) as f64).collect();
+    let weights: Vec<f64> = (0..60).map(|v| 1.0 + (v % 4) as f64).collect();
+    let params = MultilevelParams {
+        seed: 13,
+        ..Default::default()
+    };
+    let chi = multilevel(&g, &costs, &weights, 4, &params).unwrap();
+    let got: Vec<u32> = (0..60u32).map(|v| chi.get(v).unwrap()).collect();
+    assert_eq!(got, GOLDEN_TREE_K4_SEED13);
+}
