@@ -11,7 +11,15 @@
 //!                                          #   no bnb-proven optimum past
 //!                                          #   the oracle cap)
 //! reproduce bench [--quick] [--out PATH]   # perf suites → BENCH_6.json
+//! reproduce churn [--quick] [--out PATH]   # serving load test: cold vs
+//!                                          #   warm latency through
+//!                                          #   mmb-service → BENCH_7.json;
+//!                                          #   exits 1 unless warm ≥ 5×
+//!                                          #   faster and every serve is
+//!                                          #   strict + monotone
 //! reproduce bench-verify PATH              # CI guard: file exists + valid
+//!                                          #   (dispatches on the schema
+//!                                          #   tag: mmb-bench-6 or -7)
 //! reproduce gap-gate PATH                  # CI guard: fresh certified gaps
 //!                                          #   must not regress vs PATH
 //! reproduce lint [--json]                  # mmb-analyze soundness scan;
@@ -27,7 +35,7 @@
 //!                                          #   monotone degradation)
 //! ```
 
-use mmb_bench::{chaos, corpus, experiments, perf};
+use mmb_bench::{chaos, churn, corpus, experiments, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +109,29 @@ fn main() {
             print!("{}", report.summary());
             println!("wrote {out}");
         }
+        Some(&"churn") => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "BENCH_7.json".to_string());
+            let report = churn::run_churn(quick);
+            let json = report.to_json();
+            // Self-check before writing: an emitted file always validates —
+            // this is where the ≥ 5× and strict/monotone gates bite.
+            if let Err(e) = churn::validate_churn_json(&json) {
+                report.summary().print();
+                eprintln!("churn gate FAILED: {e}");
+                std::process::exit(1);
+            }
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            report.summary().print();
+            println!("wrote {out}");
+        }
         Some(&"bench-verify") => {
             let Some(path) = words.get(1) else {
                 eprintln!("usage: reproduce bench-verify <path>");
@@ -113,8 +144,23 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            match perf::validate_bench_json(&text) {
-                Ok(()) => println!("{path}: valid mmb-bench-6 document"),
+            // Dispatch on the schema tag so one CI guard covers both the
+            // perf baselines (mmb-bench-6) and the churn trace (mmb-bench-7).
+            let schema_7 = text.contains("\"mmb-bench-7\"");
+            let checked = if schema_7 {
+                churn::validate_churn_json(&text)
+            } else {
+                perf::validate_bench_json(&text)
+            };
+            match checked {
+                Ok(()) => println!(
+                    "{path}: valid {} document",
+                    if schema_7 {
+                        "mmb-bench-7"
+                    } else {
+                        "mmb-bench-6"
+                    }
+                ),
                 Err(e) => {
                     eprintln!("{path}: malformed: {e}");
                     std::process::exit(1);

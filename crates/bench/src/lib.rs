@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod churn;
 pub mod corpus;
 pub mod experiments;
 pub mod perf;

@@ -19,6 +19,7 @@
 
 use std::sync::OnceLock;
 
+use mmb_graph::fingerprint::Fingerprint;
 use mmb_graph::gen::grid::GridGraph;
 use mmb_graph::measure::{cost_degree_measure, norm_1, norm_inf, total_edge_norm_p};
 use mmb_graph::recognize::{recognize, Structure};
@@ -52,6 +53,7 @@ pub struct Instance {
     c_total: f64,
     delta_c: f64,
     detected: OnceLock<Structure>,
+    fingerprint: OnceLock<Fingerprint>,
 }
 
 impl std::fmt::Debug for Instance {
@@ -113,7 +115,33 @@ impl Instance {
             c_total,
             delta_c,
             detected: OnceLock::new(),
+            fingerprint: OnceLock::new(),
         }
+    }
+
+    /// Assemble an instance from parts whose touched entries were already
+    /// validated by [`InstanceDelta::apply`](crate::api::InstanceDelta) —
+    /// the warm-mutation constructor. Skips the `O(n + m)` finiteness
+    /// checks (the untouched entries passed them when the base instance
+    /// was built); the cheap derived aggregates (`‖w‖_∞`, `Δ_c`, …) are
+    /// recomputed in one streaming pass, since each is data-dependent on
+    /// every entry.
+    pub(crate) fn from_validated_parts(
+        graph: Graph,
+        costs: Vec<f64>,
+        weights: Vec<f64>,
+        extras: Vec<Vec<f64>>,
+    ) -> Self {
+        let mut inst = Self::build(Host::Plain(graph), costs, weights);
+        inst.extras = extras;
+        inst
+    }
+
+    /// Seed the memoized structure slot from a cached recognition result
+    /// (`SolverArtifacts`), so a warm build never re-runs detection. A
+    /// no-op if detection already ran on this instance.
+    pub(crate) fn seed_structure(&self, s: Structure) {
+        let _ = self.detected.set(s);
     }
 
     /// Add an extra measure to be weakly balanced alongside the weights
@@ -256,6 +284,16 @@ impl Instance {
             Host::Grid(_) => "grid",
             Host::Plain(_) => self.structure().name(),
         }
+    }
+
+    /// The instance's canonical [`Fingerprint`] (structure, cost and
+    /// weight digests; see [`mmb_graph::fingerprint`]). Computed on first
+    /// use (`O(n + m)`), memoized after — the identity the warm-path
+    /// caches key on.
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self
+            .fingerprint
+            .get_or_init(|| Fingerprint::of_parts(self.graph(), &self.costs, &self.weights))
     }
 
     /// The measures the pipeline weakly balances: `w` first, then the

@@ -32,6 +32,8 @@
 //! kept as a thin wrapper over this API for existing call sites; new code
 //! should construct an [`Instance`] and a [`Solver`].
 
+pub mod artifacts;
+pub mod delta;
 pub mod error;
 pub mod instance;
 pub mod partitioner;
@@ -39,10 +41,12 @@ pub mod report;
 pub mod solver;
 
 pub use crate::lower_bounds::CertifiedGap;
+pub use artifacts::{CacheLookup, CacheStats, SolverArtifacts, SolverCache};
+pub use delta::{AppliedDelta, InstanceDelta};
 pub use error::{validate_costs, validate_weights, InstanceError, SolveError};
 pub use instance::Instance;
 pub use partitioner::{Partitioner, Theorem4Pipeline};
 pub use report::{ClassRow, Report, StageReport};
 pub use solver::{
-    auto_splitter, solve_many, solve_many_raw, Solver, SolverBuilder, SplitterChoice,
+    auto_splitter, solve_many, solve_many_raw, DeltaSolve, Solver, SolverBuilder, SplitterChoice,
 };

@@ -28,8 +28,11 @@
 //! assert_eq!(solver.family(), "grid");
 //! ```
 
+use std::sync::Arc;
+
 use mmb_graph::recognize::Structure;
 use mmb_graph::workspace::Workspace;
+use mmb_graph::Coloring;
 use mmb_splitters::bfs::BfsSplitter;
 use mmb_splitters::grid::GridSplitter;
 use mmb_splitters::order::OrderSplitter;
@@ -37,6 +40,8 @@ use mmb_splitters::tree::TreeSplitter;
 use mmb_splitters::Splitter;
 use rayon::prelude::*;
 
+use crate::api::artifacts::SolverArtifacts;
+use crate::api::delta::InstanceDelta;
 use crate::api::error::SolveError;
 use crate::api::instance::Instance;
 use crate::api::report::Report;
@@ -117,6 +122,7 @@ pub struct SolverBuilder<'i> {
     k: usize,
     cfg: PipelineConfig,
     choice: SplitterChoice<'i>,
+    artifacts: Option<Arc<SolverArtifacts>>,
 }
 
 impl<'i> SolverBuilder<'i> {
@@ -158,8 +164,21 @@ impl<'i> SolverBuilder<'i> {
         self
     }
 
-    /// Resolve the splitter, precompute `π` and `‖c‖_p`, and return the
-    /// reusable [`Solver`].
+    /// Warm-start construction from cached [`SolverArtifacts`] (usually
+    /// handed out by a [`SolverCache`](crate::api::SolverCache)). If the
+    /// snapshot [`matches`](SolverArtifacts::matches) this builder's
+    /// instance and `p` exactly, `build` reuses its recognition verdict,
+    /// `π`, and `‖c‖_p` instead of recomputing them; a non-matching
+    /// snapshot is silently ignored and construction runs cold, so stale
+    /// cache handoffs can never corrupt a solver.
+    pub fn artifacts(mut self, artifacts: Arc<SolverArtifacts>) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Resolve the splitter, precompute `π` and `‖c‖_p` (or reuse them
+    /// from [`SolverBuilder::artifacts`]), and return the reusable
+    /// [`Solver`].
     pub fn build(self) -> Result<Solver<'i>, SolveError> {
         if self.k == 0 {
             return Err(SolveError::ZeroColors);
@@ -171,6 +190,17 @@ impl<'i> SolverBuilder<'i> {
             return Err(SolveError::InvalidExponent { p: self.cfg.p });
         }
         let inst = self.inst;
+        // Exact-match check before anything downstream consumes the
+        // snapshot; seeding the memoized structure slot must happen
+        // before the splitter resolution below triggers detection.
+        let warm = self
+            .artifacts
+            .as_ref()
+            .filter(|a| a.matches(inst, self.cfg.p))
+            .cloned();
+        if let Some(a) = &warm {
+            inst.seed_structure(a.structure().clone());
+        }
         let (splitter, family): (Box<dyn Splitter + 'i>, &'static str) = match self.choice {
             SplitterChoice::Auto => auto_splitter(inst),
             SplitterChoice::Grid => match inst.grid() {
@@ -200,14 +230,20 @@ impl<'i> SolverBuilder<'i> {
             SplitterChoice::Bfs => (Box::new(BfsSplitter::new(inst.graph())), "bfs"),
             SplitterChoice::Custom(b) => (b, "custom"),
         };
-        let pi = splitting_cost_measure_within(
-            inst.graph(),
-            inst.costs(),
-            self.cfg.p,
-            1.0,
-            inst.domain(),
-        );
-        let c_norm_p = inst.cost_norm(self.cfg.p);
+        let (pi, c_norm_p): (Arc<[f64]>, f64) = match &warm {
+            Some(a) => (Arc::clone(a.pi()), a.c_norm_p()),
+            None => (
+                splitting_cost_measure_within(
+                    inst.graph(),
+                    inst.costs(),
+                    self.cfg.p,
+                    1.0,
+                    inst.domain(),
+                )
+                .into(),
+                inst.cost_norm(self.cfg.p),
+            ),
+        };
         Ok(Solver {
             inst,
             k: self.k,
@@ -233,8 +269,10 @@ pub struct Solver<'i> {
     cfg: PipelineConfig,
     splitter: Box<dyn Splitter + 'i>,
     family: &'static str,
-    /// Splitting-cost measure `π` (Definition 10), precomputed per `p`.
-    pi: Vec<f64>,
+    /// Splitting-cost measure `π` (Definition 10), precomputed per `p`;
+    /// refcounted so a [`SolverCache`](crate::api::SolverCache) snapshot
+    /// and any number of warm solvers share one buffer.
+    pi: Arc<[f64]>,
     /// `‖c‖_p` for the Theorem 5 bound in reports.
     c_norm_p: f64,
 }
@@ -247,6 +285,7 @@ impl<'i> Solver<'i> {
             k: 0,
             cfg: PipelineConfig::default(),
             choice: SplitterChoice::Auto,
+            artifacts: None,
         }
     }
 
@@ -484,6 +523,146 @@ impl<'i> Solver<'i> {
         report
     }
 
+    /// Warm re-solve after an [`InstanceDelta`]: mutate this solver's
+    /// instance, re-seed the pipeline from `previous` (the coloring this
+    /// solver — or an earlier `resolve_delta` — served for the
+    /// pre-mutation instance), and repair only the delta's touched
+    /// region instead of solving from scratch.
+    ///
+    /// The warm path: project `previous` onto the mutated instance,
+    /// greedy-assign any appended vertices to the lightest class,
+    /// KL-repair the touched closure ([`refine_region`]), and restore
+    /// eq. (1) with a `BinPack2` pass only if the mutation broke strict
+    /// balance. The candidate then faces **the same validation gate the
+    /// resilient ladder serves through** — total, strictly balanced, no
+    /// worse than the LPT floor — and on rejection the whole thing falls
+    /// back to a cold [`SplitterChoice::Auto`] solve of the mutated
+    /// instance (`DeltaSolve::warm` reports which path produced the
+    /// served coloring). Either way, the returned coloring passed the
+    /// gate: warm serving never trades away the strict-balance contract.
+    ///
+    /// Errors: [`SolveError::WarmStartMismatch`] when `previous` does not
+    /// fit this solver's instance or `k`, or the delta's own typed
+    /// [`InstanceError`](crate::api::InstanceError) wrapped in
+    /// [`SolveError::Instance`].
+    ///
+    /// [`refine_region`]: crate::refine::refine_region
+    pub fn resolve_delta(
+        &self,
+        delta: &InstanceDelta,
+        previous: &Coloring,
+    ) -> Result<DeltaSolve, SolveError> {
+        if previous.k() != self.k {
+            return Err(SolveError::WarmStartMismatch { what: "k" });
+        }
+        if previous.num_vertices() != self.inst.num_vertices() {
+            return Err(SolveError::WarmStartMismatch { what: "n" });
+        }
+        let applied = delta.apply(self.inst)?;
+        let inst2 = applied.instance;
+        let touched = applied.touched;
+        let (g, costs, weights) = (inst2.graph(), inst2.costs(), inst2.weights());
+        let n_old = self.inst.num_vertices();
+
+        // Project the incumbent onto the mutated instance (vertex ids of
+        // survivors are stable; only appended vertices are new).
+        let mut chi = Coloring::new_uncolored(inst2.num_vertices(), self.k);
+        for v in 0..n_old as u32 {
+            if let Some(c) = previous.get(v) {
+                chi.set(v, c);
+            }
+        }
+        // Appended (and any previously uncolored) vertices go to the
+        // lightest class — the same greedy that makes the ladder's floor
+        // rungs strict in any order.
+        let mut loads = chi.class_measures(weights);
+        for v in 0..inst2.num_vertices() as u32 {
+            if chi.get(v).is_none() {
+                let lightest = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                chi.set(v, lightest as u32);
+                loads[lightest] += weights[v as usize];
+            }
+        }
+        // KL repair, scoped to the touched closure, then one full-graph
+        // sweep: the regional pass soaks up the local damage cheaply, and
+        // the global pass lets repairs propagate past the closure when a
+        // mutation shifted the balance landscape (still far cheaper than
+        // a cold solve — no recognition, no Prop 7/11/12 stages).
+        let params = crate::refine::KlParams::default();
+        let chi = crate::refine::refine_region(g, costs, weights, &chi, &touched, &params)?;
+        let mut chi = crate::refine::refine(g, costs, weights, &chi, &params)?;
+        // The mutation (or the repair's balance envelope, which is looser
+        // than eq. (1)) may have broken strict balance; restore it with
+        // the Proposition 12 pass. `OrderSplitter::by_id` needs no
+        // structure recognition and is always available.
+        if !chi.is_strictly_balanced(weights) {
+            let splitter = OrderSplitter::by_id(g);
+            chi = binpack2(g, &splitter, &chi, inst2.domain(), weights);
+        }
+
+        // Second warm candidate: a full KL sweep seeded from the LPT
+        // rung instead of the incumbent. When a mutation moves the
+        // balance landscape enough that the incumbent's basin is no
+        // longer the good one, this restart escapes it — still without
+        // touching the pipeline.
+        let lpt = crate::resilient::ladder::lpt_coloring(&inst2, self.k);
+        let floor_cost = lpt.max_boundary_cost(g, costs);
+        let mut restart = crate::refine::refine(g, costs, weights, &lpt, &params)?;
+        if !restart.is_strictly_balanced(weights) {
+            let splitter = OrderSplitter::by_id(g);
+            restart = binpack2(g, &splitter, &restart, inst2.domain(), weights);
+        }
+
+        // The same gate the resilient ladder serves through; of the
+        // candidates that pass it, serve the cheapest.
+        let warm_best = [chi, restart]
+            .into_iter()
+            .filter_map(|cand| {
+                crate::resilient::ladder::validate(&inst2, &cand, floor_cost)
+                    .ok()
+                    .map(|cost| (cand, cost))
+            })
+            .min_by(|(_, a), (_, b)| a.total_cmp(b));
+        if let Some((coloring, cost)) = warm_best {
+            return Ok(DeltaSolve {
+                coloring,
+                max_boundary: cost,
+                floor_cost,
+                warm: true,
+                touched,
+                instance: inst2,
+            });
+        }
+
+        // Cold fallback: a fresh Auto-splitter solve of the mutated
+        // instance, still gate-checked; if even the pipeline's output
+        // fails the gate (it can exceed the LPT floor on adversarial
+        // costs), serve the floor itself — it passes by construction.
+        let report = Solver::for_instance(&inst2)
+            .classes(self.k)
+            .config(self.cfg.clone())
+            .build()?
+            .solve();
+        let (coloring, max_boundary) =
+            match crate::resilient::ladder::validate(&inst2, &report.coloring, floor_cost) {
+                Ok(cost) => (report.coloring, cost),
+                Err(_) => (lpt, floor_cost),
+            };
+        Ok(DeltaSolve {
+            coloring,
+            max_boundary,
+            floor_cost,
+            warm: false,
+            touched,
+            instance: inst2,
+        })
+    }
+
     /// The instance this solver is bound to.
     pub fn instance(&self) -> &'i Instance {
         self.inst
@@ -513,6 +692,29 @@ impl<'i> Solver<'i> {
     pub fn family(&self) -> &'static str {
         self.family
     }
+}
+
+/// The outcome of a [`Solver::resolve_delta`] warm re-solve.
+///
+/// Owns the mutated [`Instance`] (build the next solver — or apply the
+/// next delta — against it) and the served coloring, which passed the
+/// ladder's validation gate on whichever path (`warm`) produced it.
+#[derive(Debug)]
+pub struct DeltaSolve {
+    /// The mutated instance the coloring is for.
+    pub instance: Instance,
+    /// The served coloring: total, strictly balanced, within the floor.
+    pub coloring: Coloring,
+    /// `‖∂χ⁻¹‖_∞` of the served coloring.
+    pub max_boundary: f64,
+    /// The LPT floor rung's cost on the mutated instance — the gate's
+    /// monotonicity bound.
+    pub floor_cost: f64,
+    /// `true` if the incumbent-repair path survived the gate; `false` if
+    /// the result came from the cold fallback solve.
+    pub warm: bool,
+    /// The delta's touched vertex set (sorted), as repaired.
+    pub touched: Vec<u32>,
 }
 
 impl std::fmt::Debug for Solver<'_> {

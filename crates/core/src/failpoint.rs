@@ -51,6 +51,13 @@ pub const SITES: &[&str] = &[
     "batch::item",
 ];
 
+/// The failpoint sites of the `mmb-service` serving layer: request
+/// admission, the artifact-cache lookup, and the per-request worker.
+/// Kept separate from [`SITES`] so the seeded schedules `chaos` derives
+/// for the solve path stay bit-identical; service chaos tests draw from
+/// this list via [`FaultSchedule::chaos_over`].
+pub const SERVICE_SITES: &[&str] = &["service::admit", "service::cache", "service::worker"];
+
 /// What an armed failpoint does when its rule matches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultAction {
@@ -132,6 +139,16 @@ impl FaultSchedule {
     /// panics, transients and short (≤ 4 ms) stalls at early hit indices.
     /// Same seed, same schedule — every chaos failure replays.
     pub fn chaos(seed: u64) -> Self {
+        Self::chaos_over(seed, SITES)
+    }
+
+    /// [`FaultSchedule::chaos`], drawing sites from a caller-chosen list
+    /// instead of the canonical solve-path [`SITES`] — e.g.
+    /// [`SERVICE_SITES`] for the serving layer, or a mixed slice for
+    /// end-to-end chaos. `chaos(seed)` ≡ `chaos_over(seed, SITES)`
+    /// bit for bit, so existing seeded schedules are unaffected.
+    pub fn chaos_over(seed: u64, sites: &[&'static str]) -> Self {
+        assert!(!sites.is_empty(), "chaos_over needs at least one site");
         let mut state = seed;
         let mut next = move || -> u64 {
             // splitmix64 (Steele, Lea & Flood 2014) — tiny, seedable, and
@@ -145,7 +162,7 @@ impl FaultSchedule {
         let mut schedule = FaultSchedule::new();
         let rules = 1 + (next() % 3);
         for _ in 0..rules {
-            let site = SITES[(next() % SITES.len() as u64) as usize];
+            let site = sites[(next() % sites.len() as u64) as usize];
             let action = match next() % 4 {
                 0 => FaultAction::Panic,
                 1 | 2 => FaultAction::Transient,
@@ -413,6 +430,33 @@ impl<S: mmb_splitters::Splitter> mmb_splitters::Splitter for FailpointSplitter<S
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaos_is_chaos_over_the_canonical_sites() {
+        // Pinned: generalizing the generator must not reshuffle the
+        // seeded schedules the chaos suite and CI replay.
+        for seed in [0u64, 1, 2, 3, 5, 8, 0xc0ffee, u64::MAX] {
+            assert_eq!(
+                FaultSchedule::chaos(seed),
+                FaultSchedule::chaos_over(seed, SITES)
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_over_draws_only_from_the_given_sites() {
+        for seed in 0..64u64 {
+            let schedule = FaultSchedule::chaos_over(seed, SERVICE_SITES);
+            let dump = format!("{schedule:?}");
+            assert!(
+                SERVICE_SITES.iter().any(|s| dump.contains(s)),
+                "no service site in {dump}"
+            );
+            for s in SITES {
+                assert!(!dump.contains(s), "solve-path site {s} leaked into {dump}");
+            }
+        }
+    }
 
     #[test]
     fn disarmed_sites_are_inert() {

@@ -104,8 +104,9 @@ pub mod two_color;
 pub mod verify;
 
 pub use api::{
-    auto_splitter, solve_many, solve_many_raw, Instance, InstanceError, Partitioner, Report,
-    SolveError, Solver, SolverBuilder, SplitterChoice, Theorem4Pipeline,
+    auto_splitter, solve_many, solve_many_raw, AppliedDelta, CacheLookup, CacheStats, DeltaSolve,
+    Instance, InstanceDelta, InstanceError, Partitioner, Report, SolveError, Solver,
+    SolverArtifacts, SolverBuilder, SolverCache, SplitterChoice, Theorem4Pipeline,
 };
 pub use bnb::{BnbBound, BnbConfig, BnbPartitioner, BnbSolution};
 pub use coarsen::{CoarsenParams, CoarseningFront};
@@ -117,7 +118,7 @@ pub use oracle::{exact_min_max_boundary, ExactOracle, OracleSolution};
 pub use pipeline::{
     decompose, CoarsenConfig, DecomposeError, Decomposition, PipelineConfig, ScratchPolicy,
 };
-pub use refine::{refine, KlParams};
+pub use refine::{refine, refine_region, KlParams};
 pub use resilient::{
     DeadlineBudget, Resilience, ResilientConfig, ResilientSolver, RetryPolicy, RungOutcome,
 };
@@ -125,8 +126,8 @@ pub use resilient::{
 /// Commonly used items for downstream crates.
 pub mod prelude {
     pub use crate::api::{
-        solve_many, solve_many_raw, Instance, InstanceError, Partitioner, Report, SolveError,
-        Solver, SplitterChoice,
+        solve_many, solve_many_raw, DeltaSolve, Instance, InstanceDelta, InstanceError,
+        Partitioner, Report, SolveError, Solver, SolverCache, SplitterChoice,
     };
     pub use crate::bnb::{BnbConfig, BnbPartitioner};
     pub use crate::bounds;

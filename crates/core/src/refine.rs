@@ -41,6 +41,51 @@ pub fn refine(
     chi: &Coloring,
     params: &KlParams,
 ) -> Result<Coloring, SolveError> {
+    let order: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    refine_over(g, costs, weights, chi, &order, params)
+}
+
+/// [`refine`], restricted to a *region*: only `region`'s vertices and
+/// their direct neighbors are candidates for moves. The warm-path repair
+/// primitive — after an [`InstanceDelta`](crate::api::InstanceDelta)
+/// perturbs a few weights or edges, only the touched closure needs KL
+/// attention; the rest of the coloring is already converged.
+///
+/// The balance envelope stays **global** (computed over all colored
+/// vertices), so regional moves cannot silently unbalance far-away
+/// classes. Vertex ids in `region` must be in range for `g`.
+pub fn refine_region(
+    g: &Graph,
+    costs: &[f64],
+    weights: &[f64],
+    chi: &Coloring,
+    region: &[u32],
+    params: &KlParams,
+) -> Result<Coloring, SolveError> {
+    let mut order: Vec<u32> = Vec::with_capacity(region.len() * 4);
+    for &v in region {
+        order.push(v);
+        for &(nb, _) in g.neighbors(v) {
+            order.push(nb);
+        }
+    }
+    order.sort_unstable();
+    order.dedup();
+    refine_over(g, costs, weights, chi, &order, params)
+}
+
+/// The shared pass: greedy gain moves over `order`'s vertices, repeated
+/// until a pass moves nothing or `max_passes` is hit. `refine` passes
+/// `0..n` (the historical full sweep, bit-identical); `refine_region`
+/// passes the touched closure.
+fn refine_over(
+    g: &Graph,
+    costs: &[f64],
+    weights: &[f64],
+    chi: &Coloring,
+    order: &[u32],
+    params: &KlParams,
+) -> Result<Coloring, SolveError> {
     let n = g.num_vertices();
     let k = chi.k();
     validate_weights(n, weights)?;
@@ -58,7 +103,7 @@ pub fn refine(
 
     for _pass in 0..params.max_passes {
         let mut improved = false;
-        for v in 0..n as u32 {
+        for &v in order {
             let Some(c) = out.get(v) else { continue };
             // Gains per adjacent class.
             let mut internal = 0.0;
@@ -154,6 +199,55 @@ mod tests {
             total_cut(&grid.graph, &costs, &refined)
                 <= total_cut(&grid.graph, &costs, &start) + 1e-9
         );
+    }
+
+    #[test]
+    fn full_region_matches_full_refine() {
+        let grid = GridGraph::lattice(&[8, 8]);
+        let costs = vec![1.0; grid.graph.num_edges()];
+        let weights = vec![1.0; 64];
+        let start = Coloring::from_fn(64, 4, |v| v % 4);
+        let all: Vec<u32> = (0..64).collect();
+        let full = refine(&grid.graph, &costs, &weights, &start, &KlParams::default()).unwrap();
+        let regional = refine_region(
+            &grid.graph,
+            &costs,
+            &weights,
+            &start,
+            &all,
+            &KlParams::default(),
+        )
+        .unwrap();
+        assert_eq!(full, regional);
+    }
+
+    #[test]
+    fn empty_region_is_a_noop() {
+        let g = path(10);
+        let start = Coloring::from_fn(10, 2, |v| v % 2);
+        let out =
+            refine_region(&g, &[1.0; 9], &[1.0; 10], &start, &[], &KlParams::default()).unwrap();
+        assert_eq!(out, start);
+    }
+
+    #[test]
+    fn regional_moves_stay_near_the_region() {
+        // Alternating colors on a path; repair only around vertex 2.
+        // Vertices beyond the region's neighbor closure keep their colors.
+        let g = path(20);
+        let start = Coloring::from_fn(20, 2, |v| v % 2);
+        let out = refine_region(
+            &g,
+            &[1.0; 19],
+            &[1.0; 20],
+            &start,
+            &[2],
+            &KlParams::default(),
+        )
+        .unwrap();
+        for v in 5..20u32 {
+            assert_eq!(out.get(v), start.get(v), "vertex {v} moved outside region");
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! ```
 
 mod budget;
-mod ladder;
+pub(crate) mod ladder;
 mod record;
 
 pub use budget::{DeadlineBudget, RetryPolicy};

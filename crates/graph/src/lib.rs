@@ -40,6 +40,7 @@
 
 pub mod coloring;
 pub mod cut;
+pub mod fingerprint;
 pub mod gen;
 pub mod graph;
 pub mod io;
@@ -51,6 +52,7 @@ pub mod vertex_set;
 pub mod workspace;
 
 pub use coloring::Coloring;
+pub use fingerprint::Fingerprint;
 pub use graph::{csr_capacity_check, EdgeId, Graph, GraphBuilder, GraphCapacityError, VertexId};
 pub use vertex_set::VertexSet;
 pub use workspace::{ScratchMeasure, ScratchMode, Workspace, WorkspaceStats};
@@ -59,6 +61,7 @@ pub use workspace::{ScratchMeasure, ScratchMode, Workspace, WorkspaceStats};
 pub mod prelude {
     pub use crate::coloring::Coloring;
     pub use crate::cut::{boundary_cost, boundary_cost_within, cut_edges};
+    pub use crate::fingerprint::Fingerprint;
     pub use crate::gen::grid::GridGraph;
     pub use crate::graph::{EdgeId, Graph, GraphBuilder, VertexId};
     pub use crate::measure::{self, Measure};

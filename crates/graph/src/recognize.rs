@@ -53,11 +53,28 @@ impl Structure {
     }
 }
 
+thread_local! {
+    /// Per-thread count of [`recognize`] invocations — a deterministic
+    /// observability counter (monotone, never reset) for the
+    /// construction-cost regression tests: an explicit splitter choice
+    /// must not pay the recognition pass, and the warm artifact path must
+    /// not re-run it on a cache hit.
+    static RECOGNITIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many times [`recognize`] has run on this thread. Subtract two
+/// snapshots around a region to count the recognitions it performed;
+/// see `tests/api.rs` (workspace root) for the regression pattern.
+pub fn recognition_count() -> u64 {
+    RECOGNITIONS.with(|c| c.get())
+}
+
 /// Classify `g` into a [`Structure`].
 ///
 /// Runs in `O((n + m)·d)` (the lattice attempt dominates and bails out
 /// early on non-lattices).
 pub fn recognize(g: &Graph) -> Structure {
+    RECOGNITIONS.with(|c| c.set(c.get() + 1));
     let n = g.num_vertices();
     let (_, components) = g.components();
     let is_forest = g.num_edges() + components == n;

@@ -568,3 +568,117 @@ fn path_positions_used_by_auto_follow_the_walk() {
         report.max_boundary
     );
 }
+
+/// PR-2-style construction accounting, extended to recognition: explicit
+/// splitter choices must not pay the `recognize()` scan at all — the
+/// whole point of caching a recognition verdict in `SolverArtifacts` is
+/// that construction phases are separable and individually skippable.
+#[test]
+fn explicit_splitter_choices_skip_recognition() {
+    use mmb_core::api::SolverCache;
+    use mmb_graph::recognize::recognition_count;
+    use mmb_splitters::bfs::BfsSplitter;
+
+    // Plain-graph instance (no `GridGraph` handle attached): recognition
+    // is the only way to *detect* the lattice, so any recognition this
+    // test observes is attributable to the solver build under test.
+    let grid = GridGraph::lattice(&[10, 10]);
+    let costs = det_costs(grid.graph.num_edges(), 11);
+    let weights = det_weights(grid.graph.num_vertices(), 12);
+    let inst = Instance::new(grid.graph.clone(), costs.clone(), weights.clone()).unwrap();
+
+    // Explicit Order / Bfs: zero recognitions across build + solve.
+    for (choice, label) in [
+        (SplitterChoice::Order, "order"),
+        (SplitterChoice::Bfs, "bfs"),
+    ] {
+        let before = recognition_count();
+        let solver = Solver::for_instance(&inst)
+            .classes(4)
+            .splitter(choice)
+            .build()
+            .unwrap();
+        assert!(solver.solve().is_strictly_balanced());
+        assert_eq!(
+            recognition_count(),
+            before,
+            "explicit {label} splitter must skip recognition"
+        );
+    }
+
+    // Custom: the caller brought their own splitter; recognizing anyway
+    // would be pure waste.
+    {
+        let before = recognition_count();
+        let solver = Solver::for_instance(&inst)
+            .classes(4)
+            .splitter(SplitterChoice::Custom(Box::new(BfsSplitter::new(
+                inst.graph(),
+            ))))
+            .build()
+            .unwrap();
+        assert!(solver.solve().is_strictly_balanced());
+        assert_eq!(
+            recognition_count(),
+            before,
+            "custom splitter must skip recognition"
+        );
+    }
+
+    // Tree: eligibility is a plain acyclicity check (`components()`),
+    // not a full recognition scan.
+    {
+        let tree = random_tree(60, 3, 7);
+        let tw = det_weights(60, 13);
+        let tc = det_costs(tree.num_edges(), 14);
+        let tinst = Instance::new(tree, tc, tw).unwrap();
+        let before = recognition_count();
+        let solver = Solver::for_instance(&tinst)
+            .classes(3)
+            .splitter(SplitterChoice::Tree)
+            .build()
+            .unwrap();
+        assert!(solver.solve().is_strictly_balanced());
+        assert_eq!(
+            recognition_count(),
+            before,
+            "tree eligibility must not run recognition"
+        );
+    }
+
+    // Auto: recognition runs exactly once, and the verdict is memoized on
+    // the instance — a second build (even at a different k) reuses it.
+    {
+        let before = recognition_count();
+        let s1 = Solver::for_instance(&inst).classes(4).build().unwrap();
+        assert!(s1.solve().is_strictly_balanced());
+        assert_eq!(recognition_count(), before + 1, "auto recognizes once");
+        let s2 = Solver::for_instance(&inst).classes(5).build().unwrap();
+        assert!(s2.solve().is_strictly_balanced());
+        assert_eq!(
+            recognition_count(),
+            before + 1,
+            "rebuild must reuse the memoized verdict"
+        );
+    }
+
+    // Artifact warm start: a *fresh* identical instance built from cached
+    // artifacts inherits the recognition verdict and pays nothing.
+    {
+        let mut cache = SolverCache::new(1);
+        let (artifacts, _) = cache.get_or_compute(&inst, 2.0);
+        let fresh = Instance::new(grid.graph.clone(), costs, weights).unwrap();
+        let before = recognition_count();
+        let solver = Solver::for_instance(&fresh)
+            .classes(4)
+            .artifacts(artifacts)
+            .build()
+            .unwrap();
+        assert!(solver.solve().is_strictly_balanced());
+        assert_eq!(
+            recognition_count(),
+            before,
+            "artifact-seeded build must skip recognition on a fresh instance"
+        );
+    }
+}
